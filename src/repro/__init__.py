@@ -1,0 +1,33 @@
+"""repro — reproduction of Kennedy & Kremer, "Automatic Data Layout for
+High Performance Fortran" (SC 1995).
+
+Public API quick reference::
+
+    from repro import AssistantConfig, run_assistant
+    result = run_assistant(source_text, AssistantConfig(nprocs=16))
+    print(result.selected_layouts)
+
+Subpackages: ``frontend`` (Fortran subset), ``analysis`` (phases/PCFG/
+dependences), ``alignment`` (CAG + 0-1 resolution), ``distribution``
+(layout types + search spaces), ``perf`` (training sets + estimator),
+``machine`` (simulated iPSC/860), ``codegen`` (SPMD lowering),
+``selection`` (0-1 layout selection), ``tool`` (assistant + CLI),
+``programs`` (Adi, Erlebacher, Tomcatv, Shallow).
+"""
+
+from .tool.assistant import AssistantConfig, AssistantResult, run_assistant
+from .tool.measurement import Measurement, measure_layouts
+from .tool.testcases import TestCase, run_test_case
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AssistantConfig",
+    "AssistantResult",
+    "run_assistant",
+    "Measurement",
+    "measure_layouts",
+    "TestCase",
+    "run_test_case",
+    "__version__",
+]

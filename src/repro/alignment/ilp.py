@@ -1,0 +1,197 @@
+"""0-1 integer programming formulation of the inter-dimensional alignment
+problem — the paper's appendix, implemented verbatim.
+
+An instance asks for a ``d``-partitioning of a weighted CAG minimizing the
+weight of edges that cross partitions (equivalently, maximizing the weight
+of edges inside partitions).
+
+Variables
+    * node switches ``a_ik`` — node ``a_i`` lies in partition ``k``;
+    * edge switches ``a$b^{ik}_{jk}`` — the edge's source and sink both lie
+      in partition ``k``.
+
+Constraints
+    * (type1) every node in exactly one partition: ``sum_k a_ik = 1``;
+    * (type2) two dimensions of one array never share a partition:
+      ``sum_i a_ik <= 1`` for every (array, k);
+    * IN-constraints: for every node ``a_i``, partition ``k`` and source
+      array ``b``: ``sum_{b_j in SRC(b, a_i)} e <= a_ik``;
+    * OUT-constraints: symmetric over ``SINK(a_i, c)``.
+
+Edge directions are first *normalized* so all edges between one array pair
+point the same way (the paper notes the direction only affects constraint
+count, not correctness).
+
+Objective: maximize ``sum_e sum_k e_k * weight(e)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..ilp import MAXIMIZE, Solution, ZeroOneModel, solve as ilp_solve
+from .cag import CAG, Node
+from .lattice import Partitioning
+
+
+def _node_var(node: Node, k: int) -> str:
+    return f"n:{node[0]}[{node[1]}]@{k}"
+
+
+def _edge_var(src: Node, dst: Node, k: int) -> str:
+    return f"e:{src[0]}[{src[1]}]${dst[0]}[{dst[1]}]@{k}"
+
+
+@dataclass
+class AlignmentILP:
+    """A built alignment model plus the metadata to decode solutions."""
+
+    model: ZeroOneModel
+    cag: CAG
+    d: int
+    directed_edges: List[Tuple[Node, Node, float]]
+
+    @property
+    def num_variables(self) -> int:
+        return self.model.num_variables
+
+    @property
+    def num_constraints(self) -> int:
+        return self.model.num_constraints
+
+
+def build_alignment_model(cag: CAG, d: int, name: str = "alignment") -> AlignmentILP:
+    """Translate a CAG + template rank ``d`` into the appendix 0-1 model."""
+    if any(dim >= d for _a, dim in cag.nodes):
+        raise ValueError(
+            f"CAG contains a dimension index >= template rank {d}"
+        )
+    model = ZeroOneModel(name=name, sense=MAXIMIZE)
+
+    nodes = sorted(cag.nodes)
+    arrays: Dict[str, List[Node]] = {}
+    for node in nodes:
+        arrays.setdefault(node[0], []).append(node)
+
+    # Edge-direction normalization: orient every edge from the
+    # lexicographically smaller array to the larger one.
+    directed: List[Tuple[Node, Node, float]] = []
+    for (a, b), weight in sorted(cag.weights.items()):
+        src, dst = (a, b) if a[0] <= b[0] else (b, a)
+        directed.append((src, dst, weight))
+
+    # Variables.
+    for node in nodes:
+        for k in range(d):
+            model.add_var(_node_var(node, k))
+    for src, dst, _w in directed:
+        for k in range(d):
+            model.add_var(_edge_var(src, dst, k))
+
+    # (type1) node constraints.
+    for node in nodes:
+        model.add_constraint(
+            {_node_var(node, k): 1.0 for k in range(d)},
+            "==",
+            1.0,
+            name=f"type1:{node[0]}[{node[1]}]",
+        )
+    # (type2) array constraints.
+    for array, array_nodes in sorted(arrays.items()):
+        if len(array_nodes) < 2:
+            continue
+        for k in range(d):
+            model.add_constraint(
+                {_node_var(node, k): 1.0 for node in array_nodes},
+                "<=",
+                1.0,
+                name=f"type2:{array}@{k}",
+            )
+
+    # Group edges for IN/OUT constraints.
+    in_groups: Dict[Tuple[Node, str], List[Tuple[Node, Node]]] = {}
+    out_groups: Dict[Tuple[Node, str], List[Tuple[Node, Node]]] = {}
+    for src, dst, _w in directed:
+        in_groups.setdefault((dst, src[0]), []).append((src, dst))
+        out_groups.setdefault((src, dst[0]), []).append((src, dst))
+
+    for (sink, src_array), edges in sorted(in_groups.items()):
+        for k in range(d):
+            coeffs = {_edge_var(s, t, k): 1.0 for s, t in edges}
+            coeffs[_node_var(sink, k)] = -1.0
+            model.add_constraint(
+                coeffs, "<=", 0.0,
+                name=f"in:{sink[0]}[{sink[1]}]<-{src_array}@{k}",
+            )
+    for (source, dst_array), edges in sorted(out_groups.items()):
+        for k in range(d):
+            coeffs = {_edge_var(s, t, k): 1.0 for s, t in edges}
+            coeffs[_node_var(source, k)] = -1.0
+            model.add_constraint(
+                coeffs, "<=", 0.0,
+                name=f"out:{source[0]}[{source[1]}]->{dst_array}@{k}",
+            )
+
+    # Objective: maximize satisfied edge weight.
+    objective: Dict[str, float] = {}
+    for src, dst, weight in directed:
+        for k in range(d):
+            objective[_edge_var(src, dst, k)] = weight
+    model.set_objective(objective)
+
+    return AlignmentILP(model=model, cag=cag, d=d, directed_edges=directed)
+
+
+@dataclass
+class AlignmentResolution:
+    """Result of conflict resolution."""
+
+    resolved: CAG  # the input CAG with cut edges removed (conflict-free)
+    partitioning: Partitioning  # components of the resolved CAG
+    assignment: Dict[Node, int]  # the ILP's partition index per node
+    cut_weight: float
+    solution: Solution
+    num_variables: int
+    num_constraints: int
+
+
+def resolve_conflicts(
+    cag: CAG, d: int, backend: str = "scipy", name: str = "alignment"
+) -> AlignmentResolution:
+    """Optimally resolve the inter-dimensional alignment conflicts of
+    ``cag`` for a ``d``-dimensional template.
+
+    Returns the conflict-free CAG obtained by removing the minimum-weight
+    set of partition-crossing edges, as chosen by the 0-1 solver.
+    """
+    ilp = build_alignment_model(cag, d, name=name)
+    solution = ilp_solve(ilp.model, backend=backend)
+    if not solution.is_optimal:
+        raise RuntimeError(
+            f"alignment ILP unexpectedly {solution.status} for {name!r}"
+        )
+    assignment: Dict[Node, int] = {}
+    for node in cag.nodes:
+        for k in range(d):
+            if solution.values.get(_node_var(node, k)) == 1:
+                assignment[node] = k
+                break
+    cut_keys = []
+    cut_weight = 0.0
+    for (a, b), weight in cag.weights.items():
+        if assignment[a] != assignment[b]:
+            cut_keys.append((a, b))
+            cut_weight += weight
+    resolved = cag.drop_edges(cut_keys)
+    if resolved.has_conflict():  # pragma: no cover - guarded by type2
+        raise AssertionError("ILP resolution left a conflict")
+    return AlignmentResolution(
+        resolved=resolved,
+        partitioning=Partitioning.from_cag(resolved),
+        assignment=assignment,
+        cut_weight=cut_weight,
+        solution=solution,
+        num_variables=ilp.num_variables,
+        num_constraints=ilp.num_constraints,
+    )

@@ -1,0 +1,203 @@
+"""Phase control flow graph (PCFG) construction (paper Section 2.1).
+
+The PCFG is an augmented control flow graph with one node per phase,
+annotated with branch probabilities and loop control information.  Here
+that information is *resolved into expected execution frequencies*:
+
+* each phase node carries ``freq`` — the expected number of executions of
+  the phase per program run;
+* each edge ``(p, q)`` carries ``freq`` — the expected number of direct
+  control transfers from phase ``p`` to phase ``q`` (this prices dynamic
+  remapping between the two phases in the selection step).
+
+Loop back-edges are real phase-to-phase edges: the last phase of a
+control-loop body transfers to the first phase ``trips - 1`` times per loop
+entry, which is exactly where remapping inside an iterative solver hurts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from .phases import (
+    Branch,
+    ControlLoop,
+    PhaseItem,
+    PhasePartition,
+    ScalarItem,
+    Seq,
+)
+
+ENTRY = "entry"
+EXIT = "exit"
+
+#: Minimum edge frequency kept in the graph; pure-zero paths are dropped.
+_EPS = 1e-12
+
+
+@dataclass
+class PCFG:
+    """Wrapper around the underlying DiGraph with typed accessors."""
+
+    graph: nx.DiGraph
+    partition: PhasePartition
+
+    @property
+    def phase_indices(self) -> List[int]:
+        return sorted(n for n in self.graph.nodes if isinstance(n, int))
+
+    def phase_frequency(self, index: int) -> float:
+        return self.graph.nodes[index].get("freq", 0.0)
+
+    def transitions(self) -> List[Tuple[int, int, float]]:
+        """Phase-to-phase edges ``(src, dst, freq)``."""
+        out = []
+        for u, v, data in self.graph.edges(data=True):
+            if isinstance(u, int) and isinstance(v, int):
+                out.append((u, v, data["freq"]))
+        return out
+
+    def entry_edges(self) -> List[Tuple[int, float]]:
+        return [
+            (v, data["freq"])
+            for _, v, data in self.graph.out_edges(ENTRY, data=True)
+            if isinstance(v, int)
+        ]
+
+    def reverse_postorder(self) -> List[int]:
+        """Phase indices in reverse postorder of a DFS from the entry —
+        the visit order of the alignment search-space heuristic."""
+        order = list(nx.dfs_postorder_nodes(self.graph, source=ENTRY))
+        order.reverse()
+        return [n for n in order if isinstance(n, int)]
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        lines = ["PCFG:"]
+        for idx in self.phase_indices:
+            lines.append(f"  phase {idx}: freq={self.phase_frequency(idx):.1f}")
+        for u, v, f in self.transitions():
+            lines.append(f"  {u} -> {v}: freq={f:.1f}")
+        return "\n".join(lines)
+
+
+def build_pcfg(partition: PhasePartition) -> PCFG:
+    """Build the PCFG from a phase partition's structure tree.
+
+    Works with *port lists*: a port list is ``[(node, freq), ...]`` — the
+    places control may be coming from, with expected frequencies.  Regions
+    with no phases are transparent (their incoming ports flow through).
+    """
+    graph = nx.DiGraph()
+    graph.add_node(ENTRY)
+    graph.add_node(EXIT)
+    for phase in partition.phases:
+        graph.add_node(phase.index, freq=0.0, phase=phase)
+
+    def add_edge(src, dst, freq: float) -> None:
+        if freq <= _EPS:
+            return
+        if graph.has_edge(src, dst):
+            graph[src][dst]["freq"] += freq
+        else:
+            graph.add_edge(src, dst, freq=freq)
+
+    def process_seq(seq: Seq, incoming: List[Tuple[object, float]]):
+        ports = incoming
+        for item in seq.items:
+            ports = process_item(item, ports)
+        return ports
+
+    def process_item(item, incoming):
+        if isinstance(item, ScalarItem):
+            return incoming  # transparent
+        if isinstance(item, PhaseItem):
+            idx = item.phase.index
+            total = 0.0
+            for src, freq in incoming:
+                add_edge(src, idx, freq)
+                total += freq
+            graph.nodes[idx]["freq"] += total
+            return [(idx, total)]
+        if isinstance(item, Branch):
+            then_in = [(s, f * item.prob) for s, f in incoming]
+            else_in = [(s, f * (1.0 - item.prob)) for s, f in incoming]
+            then_out = process_seq(item.then_body, then_in)
+            else_out = process_seq(item.else_body, else_in)
+            return _merge_ports(then_out + else_out)
+        if isinstance(item, ControlLoop):
+            return process_loop(item, incoming)
+        raise TypeError(f"unknown structure item {item!r}")
+
+    def process_loop(item: ControlLoop, incoming):
+        trips = item.trips
+        if trips <= 0 or not _seq_has_phases(item.body):
+            # Zero-trip loops and loops without phases are transparent.
+            return incoming
+        total_in = sum(f for _, f in incoming)
+        if total_in <= _EPS:
+            return incoming
+        # Process the body once with a placeholder source carrying the
+        # back-edge mass; afterwards re-point placeholder edges from the
+        # body's actual exit ports.
+        placeholder = object()
+        body_in = list(incoming) + [(placeholder, total_in * (trips - 1))]
+        body_out = process_seq(item.body, body_in)
+
+        # Ports still referencing the placeholder describe no-phase paths
+        # through the body; fold their mass into the real exits.
+        real_out = [(s, f) for s, f in body_out if s is not placeholder]
+        leak = sum(f for s, f in body_out if s is placeholder)
+        out_total = sum(f for _, f in real_out)
+        if out_total <= _EPS:
+            return incoming
+        if leak > _EPS:
+            real_out = [
+                (s, f * (out_total + leak) / out_total) for s, f in real_out
+            ]
+            out_total += leak
+
+        # Re-point placeholder edges: back-edge mass flows from exits.
+        placeholder_edges = [
+            (v, data["freq"])
+            for _, v, data in graph.out_edges(placeholder, data=True)
+        ]
+        if graph.has_node(placeholder):
+            graph.remove_node(placeholder)
+        for head, head_freq in placeholder_edges:
+            for exit_node, exit_freq in real_out:
+                add_edge(exit_node, head, head_freq * exit_freq / out_total)
+
+        # One of ``trips`` body completions continues past the loop.
+        return [(s, f / trips) for s, f in real_out]
+
+    final_ports = process_seq(partition.structure, [(ENTRY, 1.0)])
+    for src, freq in final_ports:
+        add_edge(src, EXIT, freq)
+    return PCFG(graph=graph, partition=partition)
+
+
+def _merge_ports(ports):
+    merged: Dict[object, float] = {}
+    order: List[object] = []
+    for node, freq in ports:
+        if node not in merged:
+            merged[node] = 0.0
+            order.append(node)
+        merged[node] += freq
+    return [(node, merged[node]) for node in order]
+
+
+def _seq_has_phases(seq: Seq) -> bool:
+    for item in seq.items:
+        if isinstance(item, PhaseItem):
+            return True
+        if isinstance(item, ControlLoop) and _seq_has_phases(item.body):
+            return True
+        if isinstance(item, Branch) and (
+            _seq_has_phases(item.then_body) or _seq_has_phases(item.else_body)
+        ):
+            return True
+    return False

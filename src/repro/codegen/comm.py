@@ -1,0 +1,829 @@
+"""Communication classification for the compiler model.
+
+Given one assignment statement, its loop nest, and a candidate layout,
+decide — exactly as the target Fortran D compiler would — where
+communication is required and of which pattern:
+
+* **shift** — read offset by a constant along a distributed dimension
+  (nearest-neighbour boundary exchange, message-vectorized out of the
+  loops);
+* **broadcast** — read of a fixed position along a distributed dimension
+  (the owner broadcasts a slab) or of data every processor needs;
+* **gather** — read whose distributed-dimension subscript runs over a
+  *different* loop variable than the owner's partition variable (a
+  transpose-like, all-to-all pattern: the classic cost of an unsatisfied
+  alignment preference);
+* **reduction** — array data combined into a scalar;
+* **pipeline** — a loop-carried flow dependence crossing the distributed
+  dimension: not vectorizable; the phase executes as a pipeline whose
+  granularity is fixed by the loop order (the modelled compiler performs
+  no loop interchange or coarse-grain pipelining).
+
+Message vectorization hoists every non-pipeline message out of the loop
+nest; message coalescing dedupes events with identical
+(array, dimension, pattern, offset) keys.
+
+Stride/buffering follows Fortran column-major storage: a message slab with
+its *first* array dimension fixed is strided and must be buffered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.dependence import _pair_dependences
+from ..analysis.references import ArrayAccess
+from ..distribution.layouts import DataLayout, block_bounds, block_owner
+from ..frontend.symbols import ArraySymbol, SymbolTable
+
+
+# --------------------------------------------------------------------------
+# Communication events (all message-vectorized, i.e. per phase execution)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShiftComm:
+    """Nearest-neighbour exchange of a boundary slab."""
+
+    array: str
+    template_dim: int
+    offset: int  # +1: data flows from higher block to lower, etc.
+    nbytes: int  # per processor
+    buffered: bool
+    #: processors along the exchanging dimension (= machine size for the
+    #: prototype's 1-D distributions)
+    procs: int = 0
+
+
+@dataclass(frozen=True)
+class BroadcastComm:
+    """Owner broadcasts a slab along the distributed dimension."""
+
+    array: str
+    template_dim: int
+    nbytes: int
+    buffered: bool
+    procs: int = 0
+
+
+@dataclass(frozen=True)
+class GatherComm:
+    """Transpose-like all-to-all of the array's local share (misaligned
+    read or fully-replicated consumer of distributed data)."""
+
+    array: str
+    template_dim: int
+    local_bytes: int  # per-processor share exchanged
+    buffered: bool
+    procs: int = 0
+
+
+@dataclass(frozen=True)
+class ReductionComm:
+    """Combine per-processor partial results into a scalar (then made
+    available everywhere, as the Fortran D compiler does)."""
+
+    nbytes: int
+
+
+CommEvent = ShiftComm | BroadcastComm | GatherComm | ReductionComm
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """A statement executing as a (possibly degenerate) pipeline."""
+
+    array: str
+    template_dim: int
+    var: str  # partitioned loop variable carrying the dependence
+    distance: int
+    #: product of trip counts of loops *outside* var (pipeline stages);
+    #: 1 means the computation is fully sequentialized across processors
+    stages: int
+    #: product of trip counts of loops *inside* var
+    inner_iters: int
+    #: per-stage boundary message size in bytes
+    msg_bytes: int
+    buffered: bool
+    #: +1: values flow from lower to higher blocks (forward sweep);
+    #: -1: backward sweep, the chain runs from the last processor down
+    direction: int = 1
+    #: times the processor ring is traversed per stage: 1 for BLOCK;
+    #: CYCLIC / BLOCK-CYCLIC hand the chain around once per ownership
+    #: block, multiplying the hand-off count
+    rounds: int = 1
+    #: length of the dependence chain: processors along the carried
+    #: dimension (the full machine under 1-D distributions; one grid
+    #: axis under multi-dimensional ones, with the orthogonal axes
+    #: running independent chains in parallel)
+    chain_procs: int = 0
+
+    @property
+    def sequentialized(self) -> bool:
+        return self.stages <= 1
+
+
+@dataclass(frozen=True)
+class PartitionDim:
+    """Owner-computes partitioning of the iteration space along one
+    distributed template dimension."""
+
+    template_dim: int
+    procs: int
+    extent: int  # extent of the write's array dimension aligned here
+    kind: str  # block | cyclic | block_cyclic
+    block: int  # ownership block size (0 = ceil(extent/procs), 1 = cyclic)
+    #: loop variable indexing the dimension (None: fixed position)
+    var: Optional[str]
+    coeff: int
+    const: int
+    #: fixed position when var is None (a "localized" write)
+    localized_index: Optional[int] = None
+
+    def ownership_block(self) -> int:
+        if self.kind == "block" and self.block == 0:
+            return -(-self.extent // self.procs)
+        return max(self.block, 1)
+
+
+@dataclass
+class StmtPlan:
+    """Everything the code generator / estimator needs for one statement.
+
+    The scalar ``partition_*`` fields describe the *primary* partitioned
+    dimension (the only one under the prototype's 1-D distributions);
+    ``partitions`` carries the full per-dimension picture for
+    multi-dimensional layouts, and ``grid`` the layout's whole processor
+    arrangement as ``(template_dim, procs)`` in template-dim order.
+    """
+
+    write: ArrayAccess
+    #: cost of one iteration of the statement body (microseconds)
+    per_iter_cost: float
+    #: loop variable partitioned by owner-computes (None: not partitioned)
+    partition_var: Optional[str]
+    partition_dim: Optional[int]  # template dim of the partitioning
+    partition_coeff: int  # subscript coefficient a in a*v + c
+    partition_const: int
+    #: the write lands at one fixed position along the distributed dim
+    localized_owner_index: Optional[int]
+    #: the write's array is not distributed: all processors execute it
+    replicated_write: bool
+    comms: List[CommEvent]
+    pipeline: Optional[PipelineSpec]
+    #: trips of all loops, outermost first: (var, trips)
+    loop_trips: Tuple[Tuple[str, int], ...]
+    guard_probability: float
+    #: distribution format of the partitioned dimension
+    partition_kind: str = "block"
+    #: ownership block size (BLOCK-CYCLIC block size; 1 for CYCLIC;
+    #: 0 means ceil(extent / procs), i.e. plain BLOCK)
+    partition_block: int = 0
+    #: all partitioned dimensions (multi-dimensional layouts)
+    partitions: Tuple[PartitionDim, ...] = ()
+    #: processor grid of the layout: (template_dim, procs) per
+    #: distributed template dimension, in template-dim order
+    grid: Tuple[Tuple[int, int], ...] = ()
+
+    # -- processor-grid helpers --------------------------------------------
+
+    def grid_coords(self, rank: int) -> Dict[int, int]:
+        """Decompose a linear rank into per-template-dim coordinates
+        (row-major over ``grid``)."""
+        coords: Dict[int, int] = {}
+        remaining = rank
+        for tdim, procs in reversed(self.grid):
+            coords[tdim] = remaining % procs
+            remaining //= procs
+        return coords
+
+    def grid_rank(self, coords: Dict[int, int]) -> int:
+        rank = 0
+        for tdim, procs in self.grid:
+            rank = rank * procs + coords.get(tdim, 0)
+        return rank
+
+    def partition_for(self, tdim: int) -> Optional[PartitionDim]:
+        for pd in self.partitions:
+            if pd.template_dim == tdim:
+                return pd
+        return None
+
+    def total_iterations(self) -> int:
+        total = 1
+        for _var, trips in self.loop_trips:
+            total *= trips
+        return total
+
+    def other_iterations(self) -> int:
+        """Iterations of all loops except the partitioned one."""
+        total = 1
+        for var, trips in self.loop_trips:
+            if var != self.partition_var:
+                total *= trips
+        return total
+
+    def ownership_block(self, extent: int, procs: int) -> int:
+        """Contiguously-owned run length along the partitioned dimension."""
+        if self.partition_kind == "block" and self.partition_block == 0:
+            return -(-extent // procs)
+        return max(self.partition_block, 1)
+
+    def partition_divisor(self) -> int:
+        """Product of processor counts over all variable-partitioned
+        dimensions (the parallelism owner-computes extracts)."""
+        divisor = 1
+        for pd in self.partitions:
+            if pd.var is not None:
+                divisor *= pd.procs
+        return max(divisor, 1)
+
+    def local_iters_rank(self, rank: int) -> int:
+        """Exact per-processor iteration count for any grid shape."""
+        from ..distribution.layouts import owner_of_index
+
+        total = self.total_iterations()
+        if self.replicated_write or not self.partitions:
+            return total
+        coords = self.grid_coords(rank)
+        # Fixed-position dimensions: only the owning coordinate executes.
+        for pd in self.partitions:
+            if pd.var is None and pd.localized_index is not None:
+                owner = owner_of_index(
+                    pd.kind, pd.localized_index, pd.extent, pd.procs,
+                    pd.block,
+                )
+                if coords.get(pd.template_dim, 0) != owner:
+                    return 0
+        local = 1
+        for var, trips in self.loop_trips:
+            pd = next(
+                (p for p in self.partitions if p.var == var), None
+            )
+            if pd is None:
+                local *= trips
+                continue
+            loop = next(
+                l for l in self.write.loops if l.var == var
+            )
+            coord = coords.get(pd.template_dim, 0)
+            if pd.kind == "block":
+                lo, hi = block_bounds(coord, pd.extent, pd.procs)
+                count = _owned_iterations(
+                    loop.lo, loop.hi, loop.step, pd.coeff, pd.const, lo, hi
+                )
+            else:
+                count = _owned_iterations_interleaved(
+                    loop.lo, loop.hi, loop.step, pd.coeff, pd.const,
+                    pd.kind, coord, pd.extent, pd.procs, pd.block,
+                )
+            local *= count
+        return local
+
+    def local_iterations(self, proc: int, extent: int, procs: int) -> int:
+        """Exact per-processor iteration count under owner-computes,
+        including boundary-processor irregularity (BLOCK) and cyclic
+        interleaving (CYCLIC / BLOCK-CYCLIC)."""
+        from ..distribution.layouts import owner_of_index
+
+        if self.replicated_write:
+            return self.total_iterations()
+        if self.localized_owner_index is not None:
+            # Only the owner of the fixed index executes.
+            owner = owner_of_index(
+                self.partition_kind, self.localized_owner_index, extent,
+                procs, self.partition_block,
+            )
+            return self.total_iterations() if owner == proc else 0
+        if self.partition_var is None:
+            return self.total_iterations()
+        local = 1
+        for var, trips in self.loop_trips:
+            if var != self.partition_var:
+                local *= trips
+                continue
+            loop = next(
+                l for l in self.write.loops if l.var == self.partition_var
+            )
+            if self.partition_kind == "block":
+                lo, hi = block_bounds(proc, extent, procs)
+                count = _owned_iterations(
+                    loop.lo, loop.hi, loop.step,
+                    self.partition_coeff, self.partition_const, lo, hi,
+                )
+            else:
+                count = _owned_iterations_interleaved(
+                    loop.lo, loop.hi, loop.step,
+                    self.partition_coeff, self.partition_const,
+                    self.partition_kind, proc, extent, procs,
+                    self.partition_block,
+                )
+            local *= count
+        return local
+
+
+def _owned_iterations(
+    loop_lo: Optional[int],
+    loop_hi: Optional[int],
+    step: int,
+    coeff: int,
+    const: int,
+    block_lo: int,
+    block_hi: int,
+) -> int:
+    """#{v in [loop_lo..loop_hi] (by step) : block_lo <= coeff*v + const <=
+    block_hi}."""
+    if loop_lo is None or loop_hi is None or coeff == 0:
+        return 0
+    lo, hi = sorted((loop_lo, loop_hi))
+    # Solve block_lo <= coeff*v + const <= block_hi for v.
+    if coeff > 0:
+        v_lo = -(-(block_lo - const) // coeff)  # ceil
+        v_hi = (block_hi - const) // coeff
+    else:
+        v_lo = -(-(block_hi - const) // coeff)
+        v_hi = (block_lo - const) // coeff
+    v_lo = max(v_lo, lo)
+    v_hi = min(v_hi, hi)
+    if v_hi < v_lo:
+        return 0
+    return (v_hi - v_lo) // abs(step or 1) + 1
+
+
+def _owned_iterations_interleaved(
+    loop_lo: Optional[int],
+    loop_hi: Optional[int],
+    step: int,
+    coeff: int,
+    const: int,
+    kind: str,
+    proc: int,
+    extent: int,
+    procs: int,
+    block: int,
+) -> int:
+    """#{v in the loop range : owner(coeff*v + const) == proc} under a
+    CYCLIC / BLOCK-CYCLIC format (exact, by enumeration — loop extents in
+    the supported programs are small)."""
+    from ..distribution.layouts import owner_of_index
+
+    if loop_lo is None or loop_hi is None:
+        return 0
+    lo, hi = sorted((loop_lo, loop_hi))
+    count = 0
+    for v in range(lo, hi + 1, abs(step or 1)):
+        idx = coeff * v + const
+        if 1 <= idx <= extent and owner_of_index(
+            kind, idx, extent, procs, block
+        ) == proc:
+            count += 1
+    return count
+
+
+def _slab_buffered(symbol: ArraySymbol, fixed_dim: int) -> bool:
+    """A slab with array dimension ``fixed_dim`` held constant is strided
+    (needs buffering) unless the fixed dimension is the slowest-varying
+    one — Fortran is column-major, so dimension 0 varies fastest."""
+    if symbol.rank == 1:
+        return False
+    return fixed_dim != symbol.rank - 1
+
+
+def plan_statement(
+    accesses: Sequence[ArrayAccess],
+    layout: DataLayout,
+    symbols: SymbolTable,
+    per_iter_cost: float,
+) -> Optional[StmtPlan]:
+    """Build the communication/partitioning plan of one statement.
+
+    ``accesses`` are all array accesses of a single statement (one write at
+    most — Fortran assignments).  Returns None for statements without array
+    accesses.
+    """
+    writes = [a for a in accesses if a.is_write]
+    reads = [a for a in accesses if not a.is_write]
+    if not writes and not reads:
+        return None
+
+    # Scalar-target statements (reductions) have no write access recorded.
+    write = writes[0] if writes else None
+    sample = write if write is not None else reads[0]
+    loop_trips = tuple(
+        (loop.var, loop.trip_count or 1) for loop in sample.loops
+    )
+    guard = sample.guard_probability
+
+    dist_dims = layout.distribution.distributed_dims()
+    comms: List[CommEvent] = []
+    pipeline: Optional[PipelineSpec] = None
+
+    if write is None:
+        # Reduction into a scalar: everyone computes its local share of the
+        # *reads*; partition by the first distributed read if possible.
+        plan = StmtPlan(
+            write=sample,
+            per_iter_cost=per_iter_cost,
+            partition_var=None,
+            partition_dim=None,
+            partition_coeff=1,
+            partition_const=0,
+            localized_owner_index=None,
+            replicated_write=False,
+            comms=[],
+            pipeline=None,
+            loop_trips=loop_trips,
+            guard_probability=guard,
+        )
+        _partition_by_read(plan, reads, layout, symbols)
+        scalar_bytes = 8
+        plan.comms.append(ReductionComm(nbytes=scalar_bytes))
+        _plan_reads(plan, reads, layout, symbols, comms_out=plan.comms)
+        return plan
+
+    wsym = symbols.array(write.array)
+    partition_var: Optional[str] = None
+    partition_dim: Optional[int] = None
+    partition_coeff, partition_const = 1, 0
+    partition_kind, partition_block = "block", 0
+    localized: Optional[int] = None
+    wdist = layout.distributed_array_dims(write.array)
+    replicated_write = not wdist
+    grid = tuple(
+        (tdim, layout.distribution.dims[tdim].procs)
+        for tdim in layout.distribution.distributed_dims()
+    )
+
+    partitions: List[PartitionDim] = []
+    for adim, tdim, procs_here in wdist:
+        sub = write.subscripts[adim]
+        dim_dist = layout.distribution.dims[tdim]
+        kind_here = dim_dist.kind
+        block_here = 1 if kind_here == "cyclic" else dim_dist.block
+        var = sub.single_index_var()
+        if var is not None and any(v == var for v, _ in loop_trips):
+            partitions.append(
+                PartitionDim(
+                    template_dim=tdim,
+                    procs=procs_here,
+                    extent=wsym.extents[adim],
+                    kind=kind_here,
+                    block=block_here,
+                    var=var,
+                    coeff=sub.coeff(var),
+                    const=sub.const,
+                )
+            )
+            # primary partition: used by the 1-D fast paths and reports
+            partition_var = var
+            partition_dim = tdim
+            partition_coeff = sub.coeff(var)
+            partition_const = sub.const
+            partition_kind = kind_here
+            partition_block = block_here
+        elif sub.is_constant():
+            partitions.append(
+                PartitionDim(
+                    template_dim=tdim,
+                    procs=procs_here,
+                    extent=wsym.extents[adim],
+                    kind=kind_here,
+                    block=block_here,
+                    var=None,
+                    coeff=0,
+                    const=sub.const,
+                    localized_index=sub.const,
+                )
+            )
+            if partition_var is None:
+                localized = sub.const
+                partition_dim = tdim
+                partition_kind = kind_here
+                partition_block = block_here
+
+    plan = StmtPlan(
+        write=write,
+        per_iter_cost=per_iter_cost,
+        partition_var=partition_var,
+        partition_dim=partition_dim,
+        partition_coeff=partition_coeff,
+        partition_const=partition_const,
+        localized_owner_index=localized,
+        replicated_write=replicated_write,
+        comms=comms,
+        pipeline=None,
+        loop_trips=loop_trips,
+        guard_probability=guard,
+        partition_kind=partition_kind,
+        partition_block=partition_block,
+        partitions=tuple(partitions),
+        grid=grid,
+    )
+
+    # Detect a flow dependence crossing a distributed dimension -> the
+    # statement pipelines (or sequentializes) instead of pre-communicating.
+    # Under multi-dimensional grids the chain runs along the carried
+    # dimension while the orthogonal partitioned dimensions run their own
+    # chains in parallel — stages, chunk and message sizes are per-chain.
+    var_partitions = [pd for pd in partitions if pd.var is not None]
+    var_of = {pd.var: pd for pd in var_partitions}
+    if var_partitions:
+        for read in reads:
+            if read.array != write.array:
+                continue
+            for dep in _pair_dependences(write, read):
+                pd = var_of.get(dep.carrier_var)
+                if dep.kind != "flow" or pd is None:
+                    continue
+                adim = dep.dim
+                stages = 1
+                inner = 1
+                seen_var = False
+                for var, trips in loop_trips:
+                    if var == pd.var:
+                        seen_var = True
+                        continue
+                    other = var_of.get(var)
+                    local_trips = (
+                        -(-trips // other.procs) if other is not None
+                        else trips
+                    )
+                    if seen_var:
+                        inner *= local_trips
+                    else:
+                        stages *= local_trips
+                elem = wsym.element_bytes
+                msg_bytes = dep.distance * inner * elem
+                # Element-space flow direction: write at a*v + c_w feeds a
+                # read at a*v + c_r; positive (c_w - c_r)/a means values
+                # flow toward higher indices (forward sweep).
+                w_sub = dep.source.subscripts[dep.dim]
+                r_sub = dep.sink.subscripts[dep.dim]
+                coeff_sign = 1 if pd.coeff >= 0 else -1
+                direction = 1 if (w_sub.const - r_sub.const) * coeff_sign > 0 \
+                    else -1
+                # CYCLIC / BLOCK-CYCLIC interleaving hands the dependence
+                # chain around the ring once per ownership block.
+                if pd.kind == "block":
+                    rounds = 1
+                else:
+                    rounds = max(
+                        -(-pd.extent // (pd.procs * max(pd.block, 1))), 1
+                    )
+                plan.pipeline = PipelineSpec(
+                    array=write.array,
+                    template_dim=pd.template_dim,
+                    var=pd.var,
+                    distance=dep.distance,
+                    stages=stages,
+                    inner_iters=inner,
+                    msg_bytes=max(msg_bytes, elem),
+                    buffered=_slab_buffered(wsym, adim) and inner > 1,
+                    direction=direction,
+                    rounds=rounds,
+                    chain_procs=pd.procs,
+                )
+                break
+            if plan.pipeline is not None:
+                break
+
+    _plan_reads(plan, reads, layout, symbols, comms_out=comms)
+    return plan
+
+
+def _partition_by_read(
+    plan: StmtPlan,
+    reads: Sequence[ArrayAccess],
+    layout: DataLayout,
+    symbols: SymbolTable,
+) -> None:
+    """For scalar-target statements: partition iterations by the first
+    distributed read array (the Fortran D reduction mapping), along every
+    grid dimension the read covers."""
+    plan.grid = tuple(
+        (tdim, layout.distribution.dims[tdim].procs)
+        for tdim in layout.distribution.distributed_dims()
+    )
+    for read in reads:
+        symbol = symbols.get(read.array)
+        if not isinstance(symbol, ArraySymbol):
+            continue
+        partitions: List[PartitionDim] = []
+        for adim, tdim, procs in layout.distributed_array_dims(read.array):
+            sub = read.subscripts[adim]
+            dim_dist = layout.distribution.dims[tdim]
+            var = sub.single_index_var()
+            if var is None:
+                continue
+            partitions.append(
+                PartitionDim(
+                    template_dim=tdim,
+                    procs=procs,
+                    extent=symbol.extents[adim],
+                    kind=dim_dist.kind,
+                    block=1 if dim_dist.kind == "cyclic" else dim_dist.block,
+                    var=var,
+                    coeff=sub.coeff(var),
+                    const=sub.const,
+                )
+            )
+        if partitions:
+            primary = partitions[-1]
+            plan.partition_var = primary.var
+            plan.partition_dim = primary.template_dim
+            plan.partition_coeff = primary.coeff
+            plan.partition_const = primary.const
+            plan.partition_kind = primary.kind
+            plan.partition_block = primary.block
+            plan.partitions = tuple(partitions)
+            # Reuse the read's loops for local-iteration queries.
+            plan.write = read
+            return
+
+
+def _plan_reads(
+    plan: StmtPlan,
+    reads: Sequence[ArrayAccess],
+    layout: DataLayout,
+    symbols: SymbolTable,
+    comms_out: List[CommEvent],
+) -> None:
+    """Classify every read's communication requirement (vectorized +
+    coalesced).
+
+    Case analysis per (read, distributed template dim ``tdim``):
+
+    1. iterations are *partitioned* along ``tdim`` by loop variable ``v``:
+       - read indexed by ``v`` with the write's coefficient: aligned up to
+         a constant offset → local (0) or **shift** (≠0);
+       - read indexed by ``v`` with a different coefficient, or by some
+         other loop variable: **gather** (transpose-like misalignment);
+       - read at a constant position: every processor needs the owner's
+         slab → **broadcast**;
+    2. iterations are *not* partitioned along ``tdim`` (replicated or
+       localized write, or a different partition dim): the executing
+       processor(s) span the whole dimension:
+       - read at a constant position: remote only if the writing owner
+         differs from the reading owner (then a slab **broadcast**, which
+         also covers the localized point-to-point case);
+       - otherwise the full distributed array is needed → **gather**.
+    """
+    seen_keys = set()
+    for read in reads:
+        symbol = symbols.get(read.array)
+        if not isinstance(symbol, ArraySymbol):
+            continue
+        if plan.pipeline is not None and read.array == plan.pipeline.array:
+            continue  # handled by the pipeline schedule
+        for adim, tdim, procs in layout.distributed_array_dims(read.array):
+            sub = read.subscripts[adim]
+            elem = symbol.element_bytes
+            other_extent = symbol.element_count // symbol.extents[adim]
+            extent = symbol.extents[adim]
+            pd = plan.partition_for(tdim)
+            partitioned_here = pd is not None and pd.var is not None
+            #: processors local to every read slab (orthogonal grid axes
+            #: split the data, shrinking per-processor slabs)
+            other_divisor = 1
+            for pd2 in plan.partitions:
+                if pd2.template_dim != tdim and pd2.var is not None:
+                    other_divisor *= pd2.procs
+            if partitioned_here:
+                var = sub.single_index_var()
+                if var == pd.var:
+                    if sub.coeff(var) == pd.coeff:
+                        delta = sub.const - pd.const
+                        if delta == 0:
+                            continue  # perfectly aligned: local access
+                        key = (read.array, tdim, "shift", delta)
+                        if key in seen_keys:
+                            continue  # message coalescing
+                        seen_keys.add(key)
+                        # Boundary volume: |delta| elements per owned
+                        # contiguous run.  BLOCK owns one run; CYCLIC /
+                        # BLOCK-CYCLIC own extent/(P*b) runs each.
+                        run = pd.ownership_block()
+                        runs = max(-(-extent // (procs * run)), 1)
+                        boundary = min(abs(delta), run) * runs
+                        nbytes = max(
+                            boundary * other_extent * elem // other_divisor,
+                            elem,
+                        )
+                        comms_out.append(
+                            ShiftComm(
+                                array=read.array,
+                                template_dim=tdim,
+                                offset=delta,
+                                nbytes=nbytes,
+                                buffered=_slab_buffered(symbol, adim),
+                                procs=procs,
+                            )
+                        )
+                    else:
+                        _add_gather(plan, comms_out, seen_keys, read.array,
+                                    tdim, symbol, procs, "gather-coeff")
+                    continue
+                if sub.is_constant():
+                    key = (read.array, tdim, "bcast", sub.const)
+                    if key in seen_keys:
+                        continue
+                    seen_keys.add(key)
+                    comms_out.append(
+                        BroadcastComm(
+                            array=read.array,
+                            template_dim=tdim,
+                            nbytes=max(other_extent * elem // other_divisor,
+                                       elem),
+                            buffered=_slab_buffered(symbol, adim),
+                            procs=procs,
+                        )
+                    )
+                    continue
+                # Distributed dimension indexed by a non-partition
+                # variable: transpose-like all-to-all (the classic
+                # alignment-conflict penalty).
+                _add_gather(plan, comms_out, seen_keys, read.array, tdim,
+                            symbol, procs, "gather-misaligned")
+                continue
+            # Not partitioned along tdim.
+            localized_here = (
+                pd is not None and pd.localized_index is not None
+            )
+            if sub.is_constant() and localized_here:
+                # Both slabs sit on the same template dimension, so the
+                # same ownership map decides both owners.
+                from ..distribution.layouts import owner_of_index
+
+                read_owner = owner_of_index(
+                    pd.kind, sub.const, extent, procs, pd.block
+                )
+                write_owner = owner_of_index(
+                    pd.kind, pd.localized_index, extent, procs, pd.block
+                )
+                if read_owner == write_owner:
+                    continue  # both slabs live on the same processor
+                key = (read.array, tdim, "bcast", sub.const)
+                if key in seen_keys:
+                    continue
+                seen_keys.add(key)
+                comms_out.append(
+                    BroadcastComm(
+                        array=read.array,
+                        template_dim=tdim,
+                        nbytes=other_extent * elem,
+                        buffered=_slab_buffered(symbol, adim),
+                        procs=procs,
+                    )
+                )
+                continue
+            if sub.is_constant():
+                key = (read.array, tdim, "bcast", sub.const)
+                if key in seen_keys:
+                    continue
+                seen_keys.add(key)
+                comms_out.append(
+                    BroadcastComm(
+                        array=read.array,
+                        template_dim=tdim,
+                        nbytes=other_extent * elem,
+                        buffered=_slab_buffered(symbol, adim),
+                        procs=procs,
+                    )
+                )
+                continue
+            _add_gather(plan, comms_out, seen_keys, read.array, tdim,
+                        symbol, procs, "gather-replicated")
+
+
+def _add_gather(
+    plan: StmtPlan,
+    comms_out: List[CommEvent],
+    seen_keys: set,
+    array: str,
+    tdim: int,
+    symbol: ArraySymbol,
+    procs: int,
+    tag: str,
+) -> None:
+    key = (array, tdim, tag)
+    if key in seen_keys:
+        return
+    seen_keys.add(key)
+    # The array's true per-processor share: divide by every grid axis it
+    # is distributed over (not just the one being gathered along).
+    divisor = procs
+    for pd2 in plan.partitions:
+        if pd2.template_dim != tdim and pd2.var is not None:
+            divisor *= pd2.procs
+    comms_out.append(
+        GatherComm(
+            array=array,
+            template_dim=tdim,
+            local_bytes=max(symbol.total_bytes // divisor,
+                            symbol.element_bytes),
+            buffered=True,
+            procs=procs,
+        )
+    )

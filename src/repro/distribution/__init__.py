@@ -1,0 +1,48 @@
+"""Layout types and distribution search spaces."""
+
+from .template import Template, determine_template
+from .layouts import (
+    BLOCK,
+    BLOCK_CYCLIC,
+    CYCLIC,
+    SERIAL,
+    Alignment,
+    DataLayout,
+    DimDistribution,
+    Distribution,
+    block_bounds,
+    block_owner,
+    cyclic_owner,
+)
+
+__all__ = [
+    "Template",
+    "determine_template",
+    "Alignment",
+    "DataLayout",
+    "DimDistribution",
+    "Distribution",
+    "BLOCK",
+    "CYCLIC",
+    "BLOCK_CYCLIC",
+    "SERIAL",
+    "block_bounds",
+    "block_owner",
+    "cyclic_owner",
+]
+
+from .search_space import (
+    CandidateLayout,
+    DistributionOptions,
+    LayoutSearchSpaces,
+    build_layout_search_spaces,
+    enumerate_distributions,
+)
+
+__all__ += [
+    "CandidateLayout",
+    "DistributionOptions",
+    "LayoutSearchSpaces",
+    "build_layout_search_spaces",
+    "enumerate_distributions",
+]

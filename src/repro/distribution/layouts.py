@@ -1,0 +1,288 @@
+"""Data layout types: alignments, distributions, and candidate layouts.
+
+An HPF layout is the composition of
+
+* an :class:`Alignment` per array — which template dimension each array
+  dimension maps to (offset/stride alignment is canonical, as in the
+  paper's prototype); template dimensions not covered by an array are
+  *replicated* for that array;
+* a :class:`Distribution` of the template onto physical processors —
+  per template dimension one of ``BLOCK(p)``, ``CYCLIC(p)``,
+  ``BLOCK_CYCLIC(b, p)`` or ``*`` (not distributed).
+
+A :class:`DataLayout` bundles both for every array of a phase (or the
+whole program) and answers the ownership/local-size queries the compiler
+model, the estimator, and the SPMD code generator need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..frontend.symbols import ArraySymbol, SymbolTable
+from .template import Template
+
+BLOCK = "block"
+CYCLIC = "cyclic"
+BLOCK_CYCLIC = "block_cyclic"
+SERIAL = "*"
+
+
+@dataclass(frozen=True)
+class Alignment:
+    """Map of array dimensions to template dimensions.
+
+    ``axis_map[d]`` is the template dimension array dimension ``d`` (0-based)
+    is aligned with.  Must be injective.
+    """
+
+    axis_map: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(set(self.axis_map)) != len(self.axis_map):
+            raise ValueError(f"alignment {self.axis_map} maps two array "
+                             "dimensions to one template dimension")
+
+    @property
+    def rank(self) -> int:
+        return len(self.axis_map)
+
+    def template_dim(self, array_dim: int) -> int:
+        return self.axis_map[array_dim]
+
+    def array_dim(self, template_dim: int) -> Optional[int]:
+        """The array dimension aligned with ``template_dim``, or None when
+        the array is replicated along it."""
+        for d, t in enumerate(self.axis_map):
+            if t == template_dim:
+                return d
+        return None
+
+    @classmethod
+    def canonical(cls, rank: int) -> "Alignment":
+        return cls(axis_map=tuple(range(rank)))
+
+    def is_canonical(self) -> bool:
+        return self.axis_map == tuple(range(self.rank))
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return "align(" + ",".join(f"d{a}->t{t}" for a, t in
+                                   enumerate(self.axis_map)) + ")"
+
+
+@dataclass(frozen=True)
+class DimDistribution:
+    """Distribution of one template dimension."""
+
+    kind: str  # BLOCK | CYCLIC | BLOCK_CYCLIC | SERIAL
+    procs: int = 1
+    block: int = 0  # block size for BLOCK_CYCLIC
+
+    def __post_init__(self) -> None:
+        if self.kind not in (BLOCK, CYCLIC, BLOCK_CYCLIC, SERIAL):
+            raise ValueError(f"bad distribution kind {self.kind!r}")
+        if self.kind == SERIAL and self.procs != 1:
+            raise ValueError("serial dimensions have procs == 1")
+        if self.kind != SERIAL and self.procs < 1:
+            raise ValueError("distributed dimensions need procs >= 1")
+        if self.kind == BLOCK_CYCLIC and self.block < 1:
+            raise ValueError("block-cyclic needs a positive block size")
+
+    @property
+    def is_distributed(self) -> bool:
+        return self.kind != SERIAL and self.procs > 1
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        if self.kind == SERIAL:
+            return "*"
+        if self.kind == BLOCK_CYCLIC:
+            return f"cyclic({self.block})@{self.procs}"
+        return f"{self.kind}@{self.procs}"
+
+
+@dataclass(frozen=True)
+class Distribution:
+    """Distribution of every template dimension."""
+
+    dims: Tuple[DimDistribution, ...]
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+    @property
+    def total_procs(self) -> int:
+        total = 1
+        for dim in self.dims:
+            if dim.is_distributed:
+                total *= dim.procs
+        return total
+
+    def distributed_dims(self) -> Tuple[int, ...]:
+        return tuple(
+            d for d, dim in enumerate(self.dims) if dim.is_distributed
+        )
+
+    @classmethod
+    def one_dim_block(cls, rank: int, dim: int, procs: int) -> "Distribution":
+        """The prototype's candidate shape: BLOCK on one template
+        dimension, serial elsewhere."""
+        dims = tuple(
+            DimDistribution(kind=BLOCK, procs=procs)
+            if d == dim
+            else DimDistribution(kind=SERIAL)
+            for d in range(rank)
+        )
+        return cls(dims=dims)
+
+    @classmethod
+    def serial(cls, rank: int) -> "Distribution":
+        return cls(dims=tuple(DimDistribution(kind=SERIAL) for _ in range(rank)))
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return "dist(" + ", ".join(str(d) for d in self.dims) + ")"
+
+
+def block_owner(index: int, extent: int, procs: int) -> int:
+    """Owning processor of 1-based ``index`` under BLOCK distribution."""
+    block = -(-extent // procs)  # ceil
+    return min((index - 1) // block, procs - 1)
+
+
+def block_bounds(proc: int, extent: int, procs: int) -> Tuple[int, int]:
+    """Inclusive 1-based (lo, hi) owned by ``proc`` under BLOCK; empty
+    blocks return (lo, lo - 1)."""
+    block = -(-extent // procs)
+    lo = proc * block + 1
+    hi = min((proc + 1) * block, extent)
+    return lo, max(hi, lo - 1)
+
+
+def cyclic_owner(index: int, procs: int) -> int:
+    return (index - 1) % procs
+
+
+def block_cyclic_owner(index: int, block: int, procs: int) -> int:
+    """Owner of 1-based ``index`` under BLOCK-CYCLIC(block)."""
+    return ((index - 1) // block) % procs
+
+
+def owner_of_index(kind: str, index: int, extent: int, procs: int,
+                   block: int = 0) -> int:
+    """Owning processor of 1-based ``index`` for any distribution format."""
+    if kind == BLOCK:
+        return block_owner(index, extent, procs)
+    if kind == CYCLIC:
+        return cyclic_owner(index, procs)
+    if kind == BLOCK_CYCLIC:
+        return block_cyclic_owner(index, max(block, 1), procs)
+    return 0  # SERIAL: everything on processor 0 (undistributed)
+
+
+@dataclass(frozen=True)
+class DataLayout:
+    """A complete candidate layout: per-array alignments + one
+    distribution of the shared template."""
+
+    template: Template
+    alignments: Tuple[Tuple[str, Alignment], ...]  # sorted by array name
+    distribution: Distribution
+
+    @classmethod
+    def build(
+        cls,
+        template: Template,
+        alignments: Mapping[str, Alignment],
+        distribution: Distribution,
+    ) -> "DataLayout":
+        if distribution.rank != template.rank:
+            raise ValueError("distribution rank must match template rank")
+        return cls(
+            template=template,
+            alignments=tuple(sorted(alignments.items())),
+            distribution=distribution,
+        )
+
+    @property
+    def alignment_map(self) -> Dict[str, Alignment]:
+        return dict(self.alignments)
+
+    @property
+    def nprocs(self) -> int:
+        return self.distribution.total_procs
+
+    def alignment_of(self, array: str) -> Alignment:
+        for name, alignment in self.alignments:
+            if name == array:
+                return alignment
+        raise KeyError(f"array {array!r} has no alignment in this layout")
+
+    def arrays(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.alignments)
+
+    # -- ownership queries ---------------------------------------------------
+
+    def distributed_array_dims(self, array: str) -> Tuple[Tuple[int, int, int], ...]:
+        """``(array_dim, template_dim, procs)`` for each distributed
+        dimension of ``array``."""
+        alignment = self.alignment_of(array)
+        out = []
+        for tdim in self.distribution.distributed_dims():
+            adim = alignment.array_dim(tdim)
+            if adim is not None:
+                out.append((adim, tdim, self.distribution.dims[tdim].procs))
+        return tuple(out)
+
+    def replicated_over(self, array: str) -> Tuple[Tuple[int, int], ...]:
+        """``(template_dim, procs)`` for distributed template dims the
+        array is *not* aligned with (i.e. it is replicated across them)."""
+        alignment = self.alignment_of(array)
+        out = []
+        for tdim in self.distribution.distributed_dims():
+            if alignment.array_dim(tdim) is None:
+                out.append((tdim, self.distribution.dims[tdim].procs))
+        return tuple(out)
+
+    def is_fully_replicated(self, array: str) -> bool:
+        return not self.distributed_array_dims(array)
+
+    def local_elements(self, symbol: ArraySymbol) -> int:
+        """Per-processor element count of ``symbol`` under this layout."""
+        total = symbol.element_count
+        for adim, _tdim, procs in self.distributed_array_dims(symbol.name):
+            extent = symbol.extents[adim]
+            local = -(-extent // procs)
+            total = total // extent * local
+        return max(total, 1)
+
+    # -- identity / dedup ------------------------------------------------------
+
+    def signature(self) -> Tuple:
+        """Hashable *behavioural* identity: per-array distribution pattern.
+
+        Two (alignment, distribution) pairs that partition every array the
+        same way — e.g. transposed alignment + column distribution versus
+        canonical alignment + row distribution — share a signature, which
+        implements the paper's candidate dedup for symmetric orientations.
+        """
+        per_array = []
+        for name, _alignment in self.alignments:
+            dist_dims = tuple(
+                (adim, self.distribution.dims[tdim].kind,
+                 self.distribution.dims[tdim].procs,
+                 self.distribution.dims[tdim].block)
+                for adim, tdim, _p in self.distributed_array_dims(name)
+            )
+            repl = tuple(
+                procs for _tdim, procs in self.replicated_over(name)
+            )
+            per_array.append((name, dist_dims, repl))
+        return tuple(per_array)
+
+    def describe(self) -> str:
+        """Human-readable HPF-style description."""
+        lines = [f"!HPF$ {self.template}  {self.distribution}"]
+        for name, alignment in self.alignments:
+            lines.append(f"!HPF$ ALIGN {name} {alignment}")
+        return "\n".join(lines)

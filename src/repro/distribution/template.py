@@ -1,0 +1,53 @@
+"""The *program template* (paper Section 2.2).
+
+HPF data layout is two-stage: arrays are first *aligned* to a template (an
+array of virtual processors), and the template is then *distributed* onto
+physical processors.  The framework determines a single template for the
+entire program from the maximal dimensionality and maximal dimensional
+extents of the program's arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..frontend.symbols import SymbolTable
+
+
+@dataclass(frozen=True)
+class Template:
+    """The program-wide alignment target."""
+
+    rank: int
+    extents: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.extents) != self.rank:
+            raise ValueError("template extents must match rank")
+        if any(e <= 0 for e in self.extents):
+            raise ValueError("template extents must be positive")
+
+    @property
+    def dims(self) -> range:
+        return range(self.rank)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return "TEMPLATE(" + ", ".join(str(e) for e in self.extents) + ")"
+
+
+def determine_template(symbols: SymbolTable) -> Template:
+    """Build the program template from the declared arrays: rank is the
+    maximal array rank; each extent is the maximum extent any array has in
+    that dimension position (falling back to the global maximum extent for
+    positions only lower-rank arrays would leave unconstrained)."""
+    arrays = symbols.arrays()
+    if not arrays:
+        raise ValueError("program declares no arrays; nothing to lay out")
+    rank = max(a.rank for a in arrays)
+    global_max = max(max(a.extents) for a in arrays)
+    extents = []
+    for dim in range(rank):
+        dim_extents = [a.extents[dim] for a in arrays if a.rank > dim]
+        extents.append(max(dim_extents) if dim_extents else global_max)
+    return Template(rank=rank, extents=tuple(extents))

@@ -1,0 +1,167 @@
+"""Tokenizer for the Fortran-77 subset.
+
+The lexer accepts a pragmatic mix of fixed- and free-form conventions so the
+bundled benchmark sources stay readable:
+
+* comments: full-line ``C``/``c``/``*`` in column 1 or ``!`` anywhere;
+* statement labels: a leading integer on a line (used by ``DO 10 ... 10
+  CONTINUE`` loops);
+* continuations: a trailing ``&`` joins the next line;
+* case-insensitive keywords and identifiers (normalized to lower case);
+* Fortran operators ``.LT. .LE. .GT. .GE. .EQ. .NE. .AND. .OR. .NOT.
+  .TRUE. .FALSE.`` as single tokens.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+
+class LexError(Exception):
+    """Raised on input the lexer cannot tokenize."""
+
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+# Token kinds
+NAME = "NAME"
+INT = "INT"
+REAL = "REAL"
+OP = "OP"
+NEWLINE = "NEWLINE"
+LABEL = "LABEL"
+EOF = "EOF"
+
+KEYWORDS = frozenset(
+    {
+        "program",
+        "end",
+        "enddo",
+        "endif",
+        "do",
+        "if",
+        "then",
+        "else",
+        "elseif",
+        "integer",
+        "real",
+        "double",
+        "precision",
+        "parameter",
+        "dimension",
+        "continue",
+        "implicit",
+        "none",
+    }
+)
+
+# Dotted operators mapped to canonical spellings.
+_DOT_OPS = {
+    ".lt.": "<",
+    ".le.": "<=",
+    ".gt.": ">",
+    ".ge.": ">=",
+    ".eq.": "==",
+    ".ne.": "/=",
+    ".and.": ".and.",
+    ".or.": ".or.",
+    ".not.": ".not.",
+    ".true.": ".true.",
+    ".false.": ".false.",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<dotop>\.(?:lt|le|gt|ge|eq|ne|and|or|not|true|false)\.)
+  | (?P<real>(?:\d+\.\d*|\.\d+|\d+)(?:[edED][+-]?\d+)|\d+\.\d*|\.\d+)
+  | (?P<int>\d+)
+  | (?P<name>[A-Za-z][A-Za-z0-9_]*)
+  | (?P<op>\*\*|<=|>=|==|/=|[-+*/(),=<>:])
+  | (?P<ws>[ \t]+)
+    """,
+    re.VERBOSE | re.IGNORECASE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: str
+    line: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r}, line={self.line})"
+
+
+def _logical_lines(source: str) -> Iterator[tuple[int, str]]:
+    """Yield ``(first_line_number, text)`` logical lines with comments
+    stripped and ``&`` continuations joined."""
+    pending: Optional[str] = None
+    pending_line = 0
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        # Full-line comments (classic column-1 markers).
+        if raw[:1] in ("C", "c", "*"):
+            continue
+        # Inline comments.
+        text = raw.split("!", 1)[0].rstrip()
+        if not text.strip():
+            continue
+        if pending is not None:
+            text = pending + " " + text.strip()
+            lineno_out = pending_line
+            pending = None
+        else:
+            lineno_out = lineno
+        if text.rstrip().endswith("&"):
+            pending = text.rstrip()[:-1]
+            pending_line = lineno_out
+            continue
+        yield lineno_out, text
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source``, returning a flat token list ending in EOF.
+
+    Each logical line produces its tokens followed by one NEWLINE token.
+    A leading integer on a line is emitted as a LABEL token.
+    """
+    tokens: List[Token] = []
+    for lineno, text in _logical_lines(source):
+        pos = 0
+        first_on_line = True
+        stripped = text.lstrip()
+        # Statement label: integer at start of line followed by a
+        # statement (which always begins with a letter).
+        label_match = re.match(r"(\d+)\s+[A-Za-z]", stripped)
+        if label_match:
+            tokens.append(Token(LABEL, label_match.group(1), lineno))
+            pos = text.index(label_match.group(1)) + len(label_match.group(1))
+            first_on_line = False
+        while pos < len(text):
+            match = _TOKEN_RE.match(text, pos)
+            if match is None:
+                raise LexError(f"unexpected character {text[pos]!r}", lineno)
+            pos = match.end()
+            if match.lastgroup == "ws":
+                continue
+            value = match.group()
+            if match.lastgroup == "dotop":
+                tokens.append(Token(OP, _DOT_OPS[value.lower()], lineno))
+            elif match.lastgroup == "real":
+                tokens.append(Token(REAL, value, lineno))
+            elif match.lastgroup == "int":
+                tokens.append(Token(INT, value, lineno))
+            elif match.lastgroup == "name":
+                tokens.append(Token(NAME, value.lower(), lineno))
+            elif match.lastgroup == "op":
+                tokens.append(Token(OP, value, lineno))
+            first_on_line = False
+        del first_on_line
+        tokens.append(Token(NEWLINE, "\n", lineno))
+    last_line = tokens[-1].line if tokens else 1
+    tokens.append(Token(EOF, "", last_line))
+    return tokens

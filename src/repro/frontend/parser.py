@@ -1,0 +1,451 @@
+"""Recursive-descent parser for the Fortran-77 subset.
+
+Grammar (statements end at NEWLINE):
+
+    program     := PROGRAM name NL {declaration NL} {statement NL} END
+    declaration := type-spec entity {"," entity}
+                 | DIMENSION entity {"," entity}
+                 | PARAMETER "(" name "=" expr {"," name "=" expr} ")"
+                 | IMPLICIT NONE
+    type-spec   := INTEGER | REAL | DOUBLE PRECISION
+    entity      := name ["(" dim {"," dim} ")"]
+    dim         := expr [":" expr]
+    statement   := assign | do | if | CONTINUE
+    do          := DO [label] name "=" expr "," expr ["," expr] NL
+                       {statement NL}
+                   (ENDDO | label CONTINUE)
+    if          := IF "(" expr ")" THEN NL {statement NL}
+                   {ELSEIF "(" expr ")" THEN NL {statement NL}}
+                   [ELSE NL {statement NL}] ENDIF
+                 | IF "(" expr ")" assign          (logical IF)
+    assign      := (name | array-ref) "=" expr
+
+Expression precedence (loosest to tightest):
+``.or.`` < ``.and.`` < ``.not.`` < relational < additive < multiplicative
+< unary sign < ``**`` (right-associative).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from . import ast
+from .lexer import EOF, INT, LABEL, NAME, NEWLINE, OP, REAL, Token, tokenize
+
+
+class ParseError(Exception):
+    """Raised on syntactically invalid input."""
+
+    def __init__(self, message: str, token: Token):
+        super().__init__(f"line {token.line}: {message} (at {token.value!r})")
+        self.token = token
+
+
+_RELATIONAL = {"<", "<=", ">", ">=", "==", "/="}
+_DECL_HEADS = {"integer", "real", "double", "dimension", "parameter", "implicit"}
+
+
+class Parser:
+    """Single-pass recursive-descent parser over a token list."""
+
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    @property
+    def _cur(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        tok = self._cur
+        if tok.kind != EOF:
+            self._pos += 1
+        return tok
+
+    def _check(self, kind: str, value: Optional[str] = None) -> bool:
+        tok = self._cur
+        return tok.kind == kind and (value is None or tok.value == value)
+
+    def _accept(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        if self._check(kind, value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, value: Optional[str] = None) -> Token:
+        if not self._check(kind, value):
+            want = value if value is not None else kind
+            raise ParseError(f"expected {want!r}", self._cur)
+        return self._advance()
+
+    def _skip_newlines(self) -> None:
+        while self._accept(NEWLINE):
+            pass
+
+    # -- program ----------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        program = self._parse_program_unit()
+        self._skip_newlines()
+        self._expect(EOF)
+        return program
+
+    def parse_file(self) -> ast.SourceFile:
+        """Parse one PROGRAM unit plus any SUBROUTINE units (any order)."""
+        program: Optional[ast.Program] = None
+        subroutines: List[ast.Subroutine] = []
+        self._skip_newlines()
+        while self._cur.kind != EOF:
+            if self._check(NAME, "program"):
+                if program is not None:
+                    raise ParseError("duplicate PROGRAM unit", self._cur)
+                program = self._parse_program_unit()
+            elif self._check(NAME, "subroutine"):
+                subroutines.append(self._parse_subroutine_unit())
+            else:
+                raise ParseError(
+                    "expected PROGRAM or SUBROUTINE", self._cur
+                )
+            self._skip_newlines()
+        if program is None:
+            raise ParseError("no PROGRAM unit in file", self._cur)
+        return ast.SourceFile(
+            program=program, subroutines=tuple(subroutines)
+        )
+
+    def _parse_program_unit(self) -> ast.Program:
+        self._skip_newlines()
+        self._expect(NAME, "program")
+        name = self._expect(NAME).value
+        self._expect(NEWLINE)
+        declarations = self._parse_declaration_block()
+        body = self._parse_stmt_block(stop={"end"})
+        self._expect(NAME, "end")
+        return ast.Program(
+            name=name, declarations=tuple(declarations), body=body
+        )
+
+    def _parse_subroutine_unit(self) -> ast.Subroutine:
+        self._expect(NAME, "subroutine")
+        name = self._expect(NAME).value
+        params: List[str] = []
+        if self._accept(OP, "("):
+            if not self._check(OP, ")"):
+                while True:
+                    params.append(self._expect(NAME).value)
+                    if not self._accept(OP, ","):
+                        break
+            self._expect(OP, ")")
+        self._expect(NEWLINE)
+        declarations = self._parse_declaration_block()
+        body = self._parse_stmt_block(stop={"end"})
+        self._expect(NAME, "end")
+        return ast.Subroutine(
+            name=name,
+            params=tuple(params),
+            declarations=tuple(declarations),
+            body=body,
+        )
+
+    def _parse_declaration_block(self) -> List[ast.Declaration]:
+        self._skip_newlines()
+        declarations: List[ast.Declaration] = []
+        while self._cur.kind == NAME and self._cur.value in _DECL_HEADS:
+            decl = self._parse_declaration()
+            if decl is not None:
+                declarations.append(decl)
+            self._expect(NEWLINE)
+            self._skip_newlines()
+        return declarations
+
+    # -- declarations -----------------------------------------------------
+
+    def _parse_declaration(self) -> Optional[ast.Declaration]:
+        tok = self._advance()
+        line = tok.line
+        head = tok.value
+        if head == "implicit":
+            self._expect(NAME, "none")
+            return None
+        if head == "parameter":
+            self._expect(OP, "(")
+            bindings: List[Tuple[str, ast.Expr]] = []
+            while True:
+                pname = self._expect(NAME).value
+                self._expect(OP, "=")
+                bindings.append((pname, self._parse_expr()))
+                if not self._accept(OP, ","):
+                    break
+            self._expect(OP, ")")
+            return ast.ParameterDecl(bindings=tuple(bindings), line=line)
+        if head == "dimension":
+            return ast.DimensionDecl(entities=self._parse_entity_list(), line=line)
+        # Type declarations.
+        if head == "double":
+            self._expect(NAME, "precision")
+            dtype = "double"
+        else:
+            dtype = head
+        return ast.TypeDecl(
+            dtype=dtype, entities=self._parse_entity_list(), line=line
+        )
+
+    def _parse_entity_list(self) -> Tuple[ast.Entity, ...]:
+        entities: List[ast.Entity] = []
+        while True:
+            name = self._expect(NAME).value
+            dims: Tuple[ast.DimSpec, ...] = ()
+            if self._accept(OP, "("):
+                specs: List[ast.DimSpec] = []
+                while True:
+                    first = self._parse_expr()
+                    if self._accept(OP, ":"):
+                        specs.append(ast.DimSpec(lo=first, hi=self._parse_expr()))
+                    else:
+                        specs.append(ast.DimSpec(lo=ast.IntLit(1), hi=first))
+                    if not self._accept(OP, ","):
+                        break
+                self._expect(OP, ")")
+                dims = tuple(specs)
+            entities.append(ast.Entity(name=name, dims=dims))
+            if not self._accept(OP, ","):
+                break
+        return tuple(entities)
+
+    # -- statements ---------------------------------------------------------
+
+    def _parse_stmt_block(
+        self, stop: set, stop_label: Optional[int] = None
+    ) -> Tuple[ast.Stmt, ...]:
+        """Parse statements until a stopping keyword (not consumed) or, for
+        labelled DO loops, until the statement carrying ``stop_label`` has
+        been parsed (consumed; its trailing NEWLINE is left for the caller,
+        matching the convention that every statement parser leaves its
+        terminating NEWLINE unconsumed)."""
+        stmts: List[ast.Stmt] = []
+        while True:
+            self._skip_newlines()
+            tok = self._cur
+            if tok.kind == EOF:
+                break
+            if tok.kind == NAME and tok.value in stop:
+                break
+            label: Optional[int] = None
+            if tok.kind == LABEL:
+                label = int(self._advance().value)
+            stmt = self._parse_statement()
+            stmts.append(stmt)
+            if stop_label is not None and label == stop_label:
+                return tuple(stmts)
+            self._expect(NEWLINE)
+        if stop_label is not None:
+            raise ParseError(f"missing statement label {stop_label}", self._cur)
+        return tuple(stmts)
+
+    def _parse_statement(self) -> ast.Stmt:
+        tok = self._cur
+        if tok.kind != NAME:
+            raise ParseError("expected statement", tok)
+        if tok.value == "do":
+            return self._parse_do()
+        if tok.value == "if":
+            return self._parse_if()
+        if tok.value == "continue":
+            self._advance()
+            return ast.Continue(line=tok.line)
+        if tok.value == "call":
+            return self._parse_call()
+        return self._parse_assign()
+
+    def _parse_call(self) -> ast.CallStmt:
+        call_tok = self._expect(NAME, "call")
+        name = self._expect(NAME).value
+        args: List[ast.Expr] = []
+        if self._accept(OP, "("):
+            if not self._check(OP, ")"):
+                while True:
+                    args.append(self._parse_expr())
+                    if not self._accept(OP, ","):
+                        break
+            self._expect(OP, ")")
+        return ast.CallStmt(name=name, args=tuple(args), line=call_tok.line)
+
+    def _parse_do(self) -> ast.Do:
+        do_tok = self._expect(NAME, "do")
+        label: Optional[int] = None
+        if self._cur.kind == INT:
+            label = int(self._advance().value)
+        var = self._expect(NAME).value
+        self._expect(OP, "=")
+        lo = self._parse_expr()
+        self._expect(OP, ",")
+        hi = self._parse_expr()
+        step: Optional[ast.Expr] = None
+        if self._accept(OP, ","):
+            step = self._parse_expr()
+        self._expect(NEWLINE)
+        if label is None:
+            body = self._parse_stmt_block(stop={"enddo"})
+            self._expect(NAME, "enddo")
+        else:
+            body = self._parse_stmt_block(stop=set(), stop_label=label)
+        return ast.Do(
+            var=var, lo=lo, hi=hi, step=step, body=body, label=label,
+            line=do_tok.line,
+        )
+
+    def _parse_if(self) -> ast.If:
+        if_tok = self._expect(NAME, "if")
+        self._expect(OP, "(")
+        cond = self._parse_expr()
+        self._expect(OP, ")")
+        if not self._check(NAME, "then"):
+            # Logical IF: a single statement on the same line.
+            stmt = self._parse_statement()
+            return ast.If(cond=cond, then_body=(stmt,), line=if_tok.line)
+        self._expect(NAME, "then")
+        self._expect(NEWLINE)
+        then_body = self._parse_stmt_block(stop={"else", "elseif", "endif"})
+        else_body: Tuple[ast.Stmt, ...] = ()
+        if self._check(NAME, "elseif"):
+            elif_tok = self._advance()
+            self._pos -= 1  # re-parse as a fresh IF by rewriting the token
+            self._tokens[self._pos] = Token(NAME, "if", elif_tok.line)
+            else_body = (self._parse_if(),)
+            return ast.If(
+                cond=cond, then_body=then_body, else_body=else_body,
+                line=if_tok.line,
+            )
+        if self._accept(NAME, "else"):
+            self._expect(NEWLINE)
+            else_body = self._parse_stmt_block(stop={"endif"})
+        self._expect(NAME, "endif")
+        return ast.If(
+            cond=cond, then_body=then_body, else_body=else_body, line=if_tok.line
+        )
+
+    def _parse_assign(self) -> ast.Assign:
+        tok = self._cur
+        target = self._parse_primary()
+        if not isinstance(target, (ast.Var, ast.ArrayRef)):
+            raise ParseError("invalid assignment target", tok)
+        self._expect(OP, "=")
+        expr = self._parse_expr()
+        return ast.Assign(target=target, expr=expr, line=tok.line)
+
+    # -- expressions --------------------------------------------------------
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        while self._accept(OP, ".or."):
+            left = ast.BinOp(op=".or.", left=left, right=self._parse_and())
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_not()
+        while self._accept(OP, ".and."):
+            left = ast.BinOp(op=".and.", left=left, right=self._parse_not())
+        return left
+
+    def _parse_not(self) -> ast.Expr:
+        if self._accept(OP, ".not."):
+            return ast.UnaryOp(op=".not.", operand=self._parse_not())
+        return self._parse_relational()
+
+    def _parse_relational(self) -> ast.Expr:
+        left = self._parse_additive()
+        if self._cur.kind == OP and self._cur.value in _RELATIONAL:
+            op = self._advance().value
+            return ast.BinOp(op=op, left=left, right=self._parse_additive())
+        return left
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while self._cur.kind == OP and self._cur.value in ("+", "-"):
+            op = self._advance().value
+            left = ast.BinOp(op=op, left=left, right=self._parse_multiplicative())
+        return left
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_unary()
+        while self._cur.kind == OP and self._cur.value in ("*", "/"):
+            op = self._advance().value
+            left = ast.BinOp(op=op, left=left, right=self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        if self._cur.kind == OP and self._cur.value in ("+", "-"):
+            op = self._advance().value
+            return ast.UnaryOp(op=op, operand=self._parse_unary())
+        return self._parse_power()
+
+    def _parse_power(self) -> ast.Expr:
+        base = self._parse_primary()
+        if self._accept(OP, "**"):
+            # Right-associative: recurse through unary so -x ** -y parses.
+            return ast.BinOp(op="**", left=base, right=self._parse_unary())
+        return base
+
+    def _parse_primary(self) -> ast.Expr:
+        tok = self._cur
+        if tok.kind == INT:
+            self._advance()
+            return ast.IntLit(int(tok.value))
+        if tok.kind == REAL:
+            self._advance()
+            text = tok.value.lower()
+            is_double = "d" in text
+            return ast.RealLit(float(text.replace("d", "e")), is_double=is_double)
+        if tok.kind == OP and tok.value in (".true.", ".false."):
+            self._advance()
+            return ast.LogicalLit(tok.value == ".true.")
+        if tok.kind == OP and tok.value == "(":
+            self._advance()
+            inner = self._parse_expr()
+            self._expect(OP, ")")
+            return inner
+        if tok.kind == NAME:
+            self._advance()
+            if self._accept(OP, "("):
+                args: List[ast.Expr] = []
+                if not self._check(OP, ")"):
+                    while True:
+                        args.append(self._parse_expr())
+                        if not self._accept(OP, ","):
+                            break
+                self._expect(OP, ")")
+                if tok.value in INTRINSICS:
+                    return ast.Call(name=tok.value, args=tuple(args))
+                return ast.ArrayRef(name=tok.value, subscripts=tuple(args))
+            return ast.Var(name=tok.value)
+        raise ParseError("expected expression", tok)
+
+
+#: Recognized intrinsic functions; anything else with parentheses is an
+#: array reference.  (The subset has no user function calls.)
+INTRINSICS = frozenset(
+    {
+        "sqrt", "abs", "min", "max", "exp", "log", "sin", "cos", "tan",
+        "mod", "sign", "dble", "real", "int", "float",
+    }
+)
+
+
+def parse_source(source: str) -> ast.Program:
+    """Parse single-unit Fortran-subset source text into a
+    :class:`repro.frontend.ast.Program`.
+
+    Multi-unit files (PROGRAM + SUBROUTINEs) go through
+    :func:`parse_source_file` and the inliner instead.
+    """
+    return Parser(tokenize(source)).parse_program()
+
+
+def parse_source_file(source: str) -> ast.SourceFile:
+    """Parse a file containing one PROGRAM and any number of SUBROUTINE
+    units."""
+    return Parser(tokenize(source)).parse_file()

@@ -1,0 +1,170 @@
+"""Fortran unparser: render AST nodes back to compilable subset source.
+
+Used by the HPF writer (which re-emits the user's program with layout
+directives inserted) and by the parse/unparse round-trip property tests.
+Output is free-form-ish (ENDDO loops, ``&`` continuations avoided by
+keeping expressions on one line) but parses back through
+:func:`repro.frontend.parser.parse_source` to an equal AST.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import ast
+
+_INDENT = "  "
+_BASE = "      "
+
+#: operator precedence for minimal parenthesization (higher binds tighter)
+_PRECEDENCE = {
+    ".or.": 1,
+    ".and.": 2,
+    "<": 4, "<=": 4, ">": 4, ">=": 4, "==": 4, "/=": 4,
+    "+": 5, "-": 5,
+    "*": 6, "/": 6,
+    "**": 8,
+}
+
+_REL_TO_DOTTED = {
+    "<": ".lt.", "<=": ".le.", ">": ".gt.", ">=": ".ge.",
+    "==": ".eq.", "/=": ".ne.",
+}
+
+
+def format_expr(expr: ast.Expr, parent_prec: int = 0) -> str:
+    """Render an expression with minimal parentheses."""
+    if isinstance(expr, ast.IntLit):
+        return str(expr.value)
+    if isinstance(expr, ast.RealLit):
+        if expr.is_double:
+            text = repr(expr.value)
+            if "e" in text:
+                return text.replace("e", "d")
+            return f"{text}d0"
+        text = repr(expr.value)
+        return text
+    if isinstance(expr, ast.LogicalLit):
+        return ".true." if expr.value else ".false."
+    if isinstance(expr, ast.Var):
+        return expr.name
+    if isinstance(expr, ast.ArrayRef):
+        subs = ", ".join(format_expr(s) for s in expr.subscripts)
+        return f"{expr.name}({subs})"
+    if isinstance(expr, ast.Call):
+        args = ", ".join(format_expr(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    if isinstance(expr, ast.UnaryOp):
+        if expr.op == ".not.":
+            inner = format_expr(expr.operand, 3)
+            return f".not. {inner}"
+        inner = format_expr(expr.operand, 7)
+        text = f"{expr.op}{inner}"
+        if parent_prec >= 5:
+            return f"({text})"
+        return text
+    if isinstance(expr, ast.BinOp):
+        prec = _PRECEDENCE[expr.op]
+        # left-assoc operators: right child needs a bump; ** is
+        # right-assoc: left child needs it.
+        left_prec = prec + (1 if expr.op == "**" else 0)
+        right_prec = prec + (0 if expr.op == "**" else 1)
+        op_text = _REL_TO_DOTTED.get(expr.op, expr.op)
+        spaced = op_text if op_text == "**" else f" {op_text} "
+        if op_text == "**":
+            spaced = " ** "
+        text = (
+            format_expr(expr.left, left_prec)
+            + spaced
+            + format_expr(expr.right, right_prec)
+        )
+        if prec < parent_prec:
+            return f"({text})"
+        return text
+    raise TypeError(f"cannot print {type(expr).__name__}")
+
+
+def format_stmt(stmt: ast.Stmt, depth: int = 0) -> List[str]:
+    """Render one statement as indented source lines."""
+    pad = _BASE + _INDENT * depth
+    if isinstance(stmt, ast.Assign):
+        return [f"{pad}{format_expr(stmt.target)} = "
+                f"{format_expr(stmt.expr)}"]
+    if isinstance(stmt, ast.Continue):
+        return [f"{pad}continue"]
+    if isinstance(stmt, ast.CallStmt):
+        if stmt.args:
+            args = ", ".join(format_expr(a) for a in stmt.args)
+            return [f"{pad}call {stmt.name}({args})"]
+        return [f"{pad}call {stmt.name}"]
+    if isinstance(stmt, ast.Do):
+        header = (f"{pad}do {stmt.var} = {format_expr(stmt.lo)}, "
+                  f"{format_expr(stmt.hi)}")
+        if stmt.step is not None:
+            header += f", {format_expr(stmt.step)}"
+        lines = [header]
+        body = stmt.body
+        # labelled loops are normalized to ENDDO form; drop a trailing
+        # CONTINUE that only carried the label.
+        if stmt.label is not None and body and isinstance(
+            body[-1], ast.Continue
+        ):
+            body = body[:-1]
+        for inner in body:
+            lines.extend(format_stmt(inner, depth + 1))
+        lines.append(f"{pad}enddo")
+        return lines
+    if isinstance(stmt, ast.If):
+        if not stmt.else_body and len(stmt.then_body) == 1 and isinstance(
+            stmt.then_body[0], ast.Assign
+        ):
+            inner = format_stmt(stmt.then_body[0], 0)[0].strip()
+            return [f"{pad}if ({format_expr(stmt.cond)}) {inner}"]
+        lines = [f"{pad}if ({format_expr(stmt.cond)}) then"]
+        for inner in stmt.then_body:
+            lines.extend(format_stmt(inner, depth + 1))
+        if stmt.else_body:
+            lines.append(f"{pad}else")
+            for inner in stmt.else_body:
+                lines.extend(format_stmt(inner, depth + 1))
+        lines.append(f"{pad}endif")
+        return lines
+    raise TypeError(f"cannot print {type(stmt).__name__}")
+
+
+def format_declaration(decl: ast.Declaration) -> List[str]:
+    if isinstance(decl, ast.ParameterDecl):
+        inner = ", ".join(
+            f"{name} = {format_expr(expr)}" for name, expr in decl.bindings
+        )
+        return [f"{_BASE}parameter ({inner})"]
+    if isinstance(decl, (ast.TypeDecl, ast.DimensionDecl)):
+        if isinstance(decl, ast.TypeDecl):
+            head = {"double": "double precision"}.get(decl.dtype, decl.dtype)
+        else:
+            head = "dimension"
+        entities = []
+        for entity in decl.entities:
+            if entity.dims:
+                dims = ", ".join(
+                    format_expr(d.hi)
+                    if isinstance(d.lo, ast.IntLit) and d.lo.value == 1
+                    else f"{format_expr(d.lo)}:{format_expr(d.hi)}"
+                    for d in entity.dims
+                )
+                entities.append(f"{entity.name}({dims})")
+            else:
+                entities.append(entity.name)
+        return [f"{_BASE}{head} " + ", ".join(entities)]
+    raise TypeError(f"cannot print {type(decl).__name__}")
+
+
+def format_program(program: ast.Program) -> str:
+    """Render a whole PROGRAM unit."""
+    lines = [f"program {program.name}", f"{_BASE}implicit none"]
+    for decl in program.declarations:
+        lines.extend(format_declaration(decl))
+    for stmt in program.body:
+        lines.extend(format_stmt(stmt, 0))
+    lines.append(f"{_BASE}end")
+    return "\n".join(lines) + "\n"

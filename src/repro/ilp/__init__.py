@@ -1,0 +1,51 @@
+"""0-1 integer programming substrate (the repo's CPLEX stand-in)."""
+
+from typing import Optional
+
+from . import branch_bound, scipy_backend
+from .model import (
+    MAXIMIZE,
+    MINIMIZE,
+    Constraint,
+    ModelError,
+    Solution,
+    SolveStats,
+    ZeroOneModel,
+)
+
+BACKENDS = {
+    "scipy": scipy_backend.solve,
+    "highs": scipy_backend.solve,
+    "branch-bound": branch_bound.solve,
+}
+
+DEFAULT_BACKEND = "scipy"
+
+
+def solve(
+    model: ZeroOneModel,
+    backend: str = DEFAULT_BACKEND,
+    time_limit: Optional[float] = None,
+) -> Solution:
+    """Solve a 0-1 model with the named backend ("scipy" | "branch-bound")."""
+    try:
+        fn = BACKENDS[backend]
+    except KeyError:
+        raise ModelError(
+            f"unknown backend {backend!r}; available: {sorted(BACKENDS)}"
+        ) from None
+    return fn(model, time_limit=time_limit)
+
+
+__all__ = [
+    "ZeroOneModel",
+    "Constraint",
+    "Solution",
+    "SolveStats",
+    "ModelError",
+    "MINIMIZE",
+    "MAXIMIZE",
+    "solve",
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+]

@@ -1,0 +1,48 @@
+"""Hypercube interconnect model.
+
+The iPSC/860 is a binary hypercube of up to 128 nodes with
+circuit-switched (distance-nearly-insensitive) routing; we keep the
+Hamming-distance hop count as a small additive term and use it for the
+collective algorithms' structure.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .params import MachineParams
+
+
+def is_power_of_two(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def hypercube_dimension(nprocs: int) -> int:
+    """log2(nprocs); nprocs must be a power of two (as on the iPSC)."""
+    if not is_power_of_two(nprocs):
+        raise ValueError(f"hypercube size must be a power of two, got {nprocs}")
+    return nprocs.bit_length() - 1
+
+
+def hops(src: int, dst: int) -> int:
+    """Hamming distance between node numbers = routing hops."""
+    return bin(src ^ dst).count("1")
+
+
+def neighbors(node: int, nprocs: int) -> List[int]:
+    """Hypercube neighbours of ``node``."""
+    dim = hypercube_dimension(nprocs)
+    return [node ^ (1 << d) for d in range(dim)]
+
+
+def point_to_point_time(
+    params: MachineParams,
+    src: int,
+    dst: int,
+    nbytes: int,
+    buffered: bool = False,
+) -> float:
+    """End-to-end message time between two nodes."""
+    if src == dst:
+        return 0.0
+    return params.message_time(nbytes, hops=hops(src, dst), buffered=buffered)

@@ -1,0 +1,105 @@
+"""Node computation-cost model.
+
+Walks statement ASTs and prices one execution of each statement on the
+simulated node processor.  Both the training-set generator (which times
+microbenchmark loops) and the SPMD code generator (which emits compute
+blocks) use this model, so estimator and simulator agree on *per-iteration
+arithmetic* and differ only where the paper's models differ (communication
+placement, boundary handling, synchronization).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..frontend import ast
+from ..frontend.symbols import SymbolTable
+from .params import MachineParams
+
+#: operators priced as additions
+_ADDITIVE = {"+", "-"}
+_RELATIONAL = {"<", "<=", ">", ">=", "==", "/="}
+
+
+def expr_cost(
+    expr: ast.Expr,
+    params: MachineParams,
+    symbols: Optional[SymbolTable] = None,
+    dtype_factor: float = 1.0,
+) -> float:
+    """Arithmetic + memory cost of evaluating ``expr`` once (microseconds)."""
+    if isinstance(expr, (ast.IntLit, ast.RealLit, ast.LogicalLit)):
+        return 0.0
+    if isinstance(expr, ast.Var):
+        return 0.01  # register-resident scalar
+    if isinstance(expr, ast.ArrayRef):
+        cost = params.op_load * dtype_factor
+        for sub in expr.subscripts:
+            cost += expr_cost(sub, params, symbols, 1.0) * 0.25
+        return cost
+    if isinstance(expr, ast.UnaryOp):
+        inner = expr_cost(expr.operand, params, symbols, dtype_factor)
+        if expr.op in ("-", "+"):
+            return inner + 0.5 * params.op_add * dtype_factor
+        return inner + 0.02
+    if isinstance(expr, ast.BinOp):
+        left = expr_cost(expr.left, params, symbols, dtype_factor)
+        right = expr_cost(expr.right, params, symbols, dtype_factor)
+        if expr.op in _ADDITIVE:
+            op = params.op_add
+        elif expr.op == "*":
+            op = params.op_mul
+        elif expr.op == "/":
+            op = params.op_div
+        elif expr.op == "**":
+            op = params.op_pow
+        elif expr.op in _RELATIONAL:
+            op = params.op_add
+        else:  # logical
+            op = 0.05
+        return left + right + op * dtype_factor
+    if isinstance(expr, ast.Call):
+        cost = params.op_intrinsic * dtype_factor
+        for arg in expr.args:
+            cost += expr_cost(arg, params, symbols, dtype_factor)
+        # min/max/abs are cheap compared to transcendental intrinsics.
+        if expr.name in ("min", "max", "abs", "mod", "sign", "int", "float",
+                         "real", "dble"):
+            cost -= 0.8 * params.op_intrinsic * dtype_factor
+        return cost
+    raise TypeError(f"cannot price expression {type(expr).__name__}")
+
+
+def statement_cost(
+    stmt: ast.Stmt,
+    params: MachineParams,
+    symbols: Optional[SymbolTable] = None,
+    dtype: str = "double",
+) -> float:
+    """Cost of one execution of a simple statement body (assignments and
+    IF conditions; loop statements are priced by the code generator via
+    iteration counts)."""
+    factor = params.dtype_factor(dtype)
+    if isinstance(stmt, ast.Assign):
+        cost = expr_cost(stmt.expr, params, symbols, factor)
+        cost += params.op_store * factor
+        if isinstance(stmt.target, ast.ArrayRef):
+            for sub in stmt.target.subscripts:
+                cost += expr_cost(sub, params, symbols, 1.0) * 0.25
+        return cost + params.op_loop_overhead
+    if isinstance(stmt, ast.If):
+        return expr_cost(stmt.cond, params, symbols, factor) + 0.05
+    if isinstance(stmt, ast.Continue):
+        return 0.0
+    raise TypeError(
+        f"statement_cost prices simple statements, not {type(stmt).__name__}"
+    )
+
+
+def stmt_dtype(stmt: ast.Assign, symbols: SymbolTable) -> str:
+    """Data type driving a statement's arithmetic (its target's type)."""
+    name = stmt.target.name
+    symbol = symbols.get(name)
+    if symbol is None:
+        return "double"
+    return symbol.dtype

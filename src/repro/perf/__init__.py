@@ -1,0 +1,39 @@
+"""Performance estimation: training sets, compiler/execution models."""
+
+from .training import (
+    PATTERNS,
+    TrainingDatabase,
+    TrainingKey,
+    TrainingSet,
+    cached_training_database,
+    generate_training_database,
+)
+from .compiler_model import (
+    FORTRAN_D_PROTOTYPE,
+    CompilerOptions,
+    model_phase,
+)
+from .execution_model import (
+    LOOSELY_SYNCHRONOUS,
+    PIPELINED,
+    REDUCTION,
+    SEQUENTIALIZED,
+    PhaseEstimate,
+    price_phase,
+)
+from .remapping import arrays_needing_remap, remapping_cost
+from .estimator import (
+    EstimatedCandidate,
+    EstimationResult,
+    estimate_search_spaces,
+)
+
+__all__ = [
+    "PATTERNS", "TrainingDatabase", "TrainingKey", "TrainingSet",
+    "cached_training_database", "generate_training_database",
+    "CompilerOptions", "FORTRAN_D_PROTOTYPE", "model_phase",
+    "PhaseEstimate", "price_phase", "LOOSELY_SYNCHRONOUS", "PIPELINED",
+    "SEQUENTIALIZED", "REDUCTION",
+    "arrays_needing_remap", "remapping_cost",
+    "EstimatedCandidate", "EstimationResult", "estimate_search_spaces",
+]

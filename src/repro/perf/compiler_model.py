@@ -1,0 +1,63 @@
+"""Compiler model (paper Section 2.3).
+
+The performance estimator must know *where and what kind of communication
+the target compiler will generate* for a candidate layout.  The model is
+parameterized with the transformations the target compiler performs; the
+paper's experiments simulate a compiler that does message coalescing and
+message vectorization but **no** coarse-grain pipelining, loop interchange
+or loop distribution — :data:`FORTRAN_D_PROTOTYPE` captures exactly that
+configuration.
+
+Communication *placement and classification* is shared with the SPMD code
+generator (:mod:`repro.codegen`): the premise of the paper's evaluation is
+that the assistant correctly simulates the compiler it targets, so both
+sides must agree on what communication happens.  What the estimator does
+**not** share is the pricing: it ignores boundary-processor code, assumes
+uniform block sizes, and prices pipelines with a closed form (see
+:mod:`repro.perf.execution_model`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..codegen.spmd import CompiledPhase, compile_phase
+from ..distribution.layouts import DataLayout
+from ..frontend.symbols import SymbolTable
+from ..machine.params import MachineParams
+
+
+@dataclass(frozen=True)
+class CompilerOptions:
+    """Which optimizations the modelled target compiler performs."""
+
+    message_vectorization: bool = True
+    message_coalescing: bool = True
+    coarse_grain_pipelining: bool = False
+    loop_interchange: bool = False  # modelled for completeness; unused
+
+    @property
+    def name(self) -> str:
+        bits = []
+        if self.message_vectorization:
+            bits.append("vect")
+        if self.message_coalescing:
+            bits.append("coal")
+        if self.coarse_grain_pipelining:
+            bits.append("cgp")
+        return "+".join(bits) or "naive"
+
+
+#: The target-compiler configuration of the paper's experiments.
+FORTRAN_D_PROTOTYPE = CompilerOptions()
+
+
+def model_phase(
+    phase,
+    layout: DataLayout,
+    symbols: SymbolTable,
+    params: MachineParams,
+) -> CompiledPhase:
+    """Run the compiler model on one phase: returns the statement plans
+    (communication placement, patterns, pipeline structure)."""
+    return compile_phase(phase, layout, symbols, params)

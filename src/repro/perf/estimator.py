@@ -1,0 +1,79 @@
+"""Top-level performance estimation over candidate-layout search spaces.
+
+For every phase and every candidate layout in its search space, run the
+compiler model and price the result with the execution model; the output
+feeds the data layout graph of the selection step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.phases import Phase
+from ..distribution.search_space import CandidateLayout, LayoutSearchSpaces
+from ..frontend.symbols import SymbolTable
+from ..machine.params import MachineParams
+from .compiler_model import (
+    CompilerOptions,
+    FORTRAN_D_PROTOTYPE,
+    model_phase,
+)
+from .execution_model import PhaseEstimate, price_phase
+from .training import TrainingDatabase, cached_training_database
+
+
+@dataclass
+class EstimatedCandidate:
+    """A candidate layout together with its estimated per-execution cost."""
+
+    candidate: CandidateLayout
+    estimate: PhaseEstimate
+
+    @property
+    def total(self) -> float:
+        return self.estimate.total
+
+
+@dataclass
+class EstimationResult:
+    """Estimates for every candidate of every phase."""
+
+    per_phase: Dict[int, List[EstimatedCandidate]]
+    db: TrainingDatabase
+    nprocs: int
+    options: CompilerOptions
+
+    def best_candidate(self, phase_index: int) -> EstimatedCandidate:
+        return min(self.per_phase[phase_index], key=lambda e: e.total)
+
+    def candidate(self, phase_index: int, position: int) -> EstimatedCandidate:
+        return self.per_phase[phase_index][position]
+
+
+def estimate_search_spaces(
+    phases: Sequence[Phase],
+    spaces: LayoutSearchSpaces,
+    symbols: SymbolTable,
+    params: MachineParams,
+    db: Optional[TrainingDatabase] = None,
+    options: CompilerOptions = FORTRAN_D_PROTOTYPE,
+) -> EstimationResult:
+    """Price every candidate layout of every phase."""
+    db = db or cached_training_database(params)
+    nprocs = spaces.nprocs
+    per_phase: Dict[int, List[EstimatedCandidate]] = {}
+    phase_by_index = {p.index: p for p in phases}
+    for phase_index, candidates in spaces.per_phase.items():
+        phase = phase_by_index[phase_index]
+        estimates = []
+        for candidate in candidates:
+            compiled = model_phase(phase, candidate.layout, symbols, params)
+            estimate = price_phase(compiled, db, nprocs, options)
+            estimates.append(
+                EstimatedCandidate(candidate=candidate, estimate=estimate)
+            )
+        per_phase[phase_index] = estimates
+    return EstimationResult(
+        per_phase=per_phase, db=db, nprocs=nprocs, options=options
+    )

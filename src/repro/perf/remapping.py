@@ -1,0 +1,59 @@
+"""Remapping (dynamic redistribution) cost estimation.
+
+Dynamic data layouts pay an all-to-all redistribution whenever an array's
+layout changes between phases.  The estimator prices each changed array
+with the *transpose* training sets (redistributions pack strided slices,
+hence non-unit stride); moving *out of* a fully replicated layout is free
+because every processor already holds the data.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from ..codegen.spmd import array_layout_signature
+from ..distribution.layouts import DataLayout
+from ..frontend.symbols import SymbolTable
+from .training import TrainingDatabase
+
+
+def arrays_needing_remap(
+    from_layout: DataLayout,
+    to_layout: DataLayout,
+    arrays: Iterable[str],
+) -> List[str]:
+    """Arrays (among ``arrays``) whose distribution differs between the
+    two layouts and whose source layout actually distributes data."""
+    out = []
+    for array in arrays:
+        try:
+            sig_from = array_layout_signature(from_layout, array)
+            sig_to = array_layout_signature(to_layout, array)
+        except KeyError:
+            continue  # array not covered by one of the layouts
+        if sig_from == sig_to:
+            continue
+        if not sig_from[0]:
+            continue  # leaving a replicated layout is free
+        out.append(array)
+    return out
+
+
+def remapping_cost(
+    from_layout: DataLayout,
+    to_layout: DataLayout,
+    arrays: Iterable[str],
+    symbols: SymbolTable,
+    db: TrainingDatabase,
+    nprocs: int,
+) -> float:
+    """Estimated time (us) to remap every changed array in ``arrays``."""
+    total = 0.0
+    for array in arrays_needing_remap(from_layout, to_layout, arrays):
+        symbol = symbols.array(array)
+        local_bytes = max(symbol.total_bytes // nprocs, 1)
+        total += db.predict(
+            "transpose", nprocs, local_bytes, stride="nonunit",
+            latency="high",
+        )
+    return total

@@ -1,0 +1,105 @@
+"""Adi — alternating direction implicit integration kernel.
+
+Re-creation of the ADI kernel used in the paper's evaluation (Section 4):
+
+* 9 phases: one initialization phase plus eight phases inside the
+  time-step loop;
+* two phases carry a flow dependence along the **first** dimension
+  (forward elimination / backward substitution of the i-direction sweep) —
+  these become a *fine-grain pipeline* under a row (dim-1) distribution;
+* two phases carry a flow dependence along the **second** dimension with
+  the j loop outermost — these *sequentialize* under a column (dim-2)
+  distribution (always the worst choice in the paper);
+* no inter-dimensional alignment conflicts;
+* the remaining phases are fully parallel, so a dynamic layout that
+  transposes between the i-sweep half and the j-sweep half makes every
+  phase communication-free at the price of two remappings per time step.
+"""
+
+from __future__ import annotations
+
+_DECL = {"double": "double precision", "real": "real"}
+
+EXPECTED_PHASES = 9
+
+
+def source(n: int = 256, dtype: str = "double", maxiter: int = 5) -> str:
+    """Fortran-subset source of the Adi kernel for an ``n x n`` problem."""
+    decl = _DECL[dtype]
+    return f"""
+program adi
+      implicit none
+      integer n, maxiter
+      parameter (n = {n}, maxiter = {maxiter})
+      {decl} x(n, n), a(n, n), b(n, n), c(n, n), d(n, n), f(n, n)
+      integer i, j, iter
+
+c --- phase 1: initialization ------------------------------------------
+      do j = 1, n
+        do i = 1, n
+          x(i, j) = 1.0 + i * 0.5 + j * 0.25
+          a(i, j) = 0.25
+          b(i, j) = 1.0 + i * 0.003
+          c(i, j) = 0.25
+          d(i, j) = 1.0 + j * 0.003
+          f(i, j) = 0.0
+        enddo
+      enddo
+
+      do iter = 1, maxiter
+
+c --- i-direction (row) sweep ------------------------------------------
+c phase 2: right-hand side for the i sweep (parallel)
+        do j = 1, n
+          do i = 1, n
+            f(i, j) = 2.0 * x(i, j) - f(i, j) * 0.5
+          enddo
+        enddo
+c phase 3: forward elimination along i (flow dep on i, i innermost)
+        do j = 1, n
+          do i = 2, n
+            x(i, j) = x(i, j) - x(i - 1, j) * a(i, j) / b(i - 1, j)
+          enddo
+        enddo
+c phase 4: backward substitution along i (flow dep on i)
+        do j = 1, n
+          do i = n - 1, 1, -1
+            x(i, j) = (x(i, j) - a(i, j) * x(i + 1, j)) / b(i, j)
+          enddo
+        enddo
+c phase 5: update after the i sweep (parallel)
+        do j = 1, n
+          do i = 1, n
+            x(i, j) = x(i, j) + 0.125 * f(i, j)
+          enddo
+        enddo
+
+c --- j-direction (column) sweep ---------------------------------------
+c phase 6: right-hand side for the j sweep (parallel)
+        do j = 1, n
+          do i = 1, n
+            f(i, j) = 2.0 * x(i, j) - f(i, j) * 0.5
+          enddo
+        enddo
+c phase 7: forward elimination along j (flow dep on j, j outermost)
+        do j = 2, n
+          do i = 1, n
+            x(i, j) = x(i, j) - x(i, j - 1) * c(i, j) / d(i, j - 1)
+          enddo
+        enddo
+c phase 8: backward substitution along j (flow dep on j, j outermost)
+        do j = n - 1, 1, -1
+          do i = 1, n
+            x(i, j) = (x(i, j) - c(i, j) * x(i, j + 1)) / d(i, j)
+          enddo
+        enddo
+c phase 9: update after the j sweep (parallel)
+        do j = 1, n
+          do i = 1, n
+            x(i, j) = x(i, j) + 0.125 * f(i, j)
+          enddo
+        enddo
+
+      enddo
+      end
+"""

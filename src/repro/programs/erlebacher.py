@@ -1,0 +1,187 @@
+"""Erlebacher — 3D tridiagonal solver based on ADI integration (ICASE).
+
+Re-creation of the inlined Erlebacher version used in the paper:
+
+* 40 phases: one field-initialization phase plus three *symmetric
+  computations* of 13 phases each, one along each problem dimension;
+* the three computations share access to the 3-D **read-only** array ``f``;
+* four 3-D arrays total (``f``, ``ux``, ``uy``, ``uz``), all aligned
+  canonically — no inter-dimensional alignment conflicts;
+* per direction, the forward-elimination and backward-substitution phases
+  carry a flow dependence along that direction; with all loops ordered
+  ``do k / do j / do i`` a static layout yields
+
+  - dim-1 distribution → **fine-grain pipeline** in the x computation
+    (never profitable in the paper),
+  - dim-2 distribution → **coarse-grain pipeline** in the y computation,
+  - dim-3 distribution → **sequentialized** z computation,
+
+  and the dynamic alternative remaps the read-only array once between a
+  pair of symmetric computations.
+"""
+
+from __future__ import annotations
+
+_DECL = {"double": "double precision", "real": "real"}
+
+EXPECTED_PHASES = 40
+
+
+def _direction(axis: str) -> str:
+    """Emit the 13 phases of one symmetric computation.
+
+    ``axis`` is "x", "y" or "z"; the sweep runs along dimension 1, 2 or 3
+    respectively.  Loop order is always ``do k / do j / do i``.
+    """
+    u = f"u{axis}"
+    a, b, c = f"a{axis}", f"b{axis}", f"c{axis}"
+    if axis == "x":
+        sweep_var, out_plane = "i", "(1, j, k)"
+        ref = lambda e: f"({e}, j, k)"  # noqa: E731 - tiny local template
+        plane_loops = ("k", "j")
+    elif axis == "y":
+        sweep_var = "j"
+        ref = lambda e: f"(i, {e}, k)"  # noqa: E731
+        plane_loops = ("k", "i")
+    else:
+        sweep_var = "k"
+        ref = lambda e: f"(i, j, {e})"  # noqa: E731
+        plane_loops = ("j", "i")
+    v = sweep_var
+    p0, p1 = plane_loops
+
+    def plane_nest(body: str) -> str:
+        return (
+            f"        do {p0} = 1, n\n"
+            f"          do {p1} = 1, n\n"
+            f"            {body}\n"
+            f"          enddo\n"
+            f"        enddo\n"
+        )
+
+    def full_nest(body: str, lo: str = "1", hi: str = "n", rev: bool = False) -> str:
+        rng = f"{hi}, {lo}, -1" if rev else f"{lo}, {hi}"
+        loops = []
+        for lv in ("k", "j", "i"):
+            if lv == v:
+                loops.append(f"do {lv} = {rng}")
+            else:
+                loops.append(f"do {lv} = 1, n")
+        indent = "      "
+        text = ""
+        for depth, header in enumerate(loops):
+            text += indent + "  " * (depth + 1) + header + "\n"
+        text += indent + "  " * 4 + body + "\n"
+        for depth in range(len(loops) - 1, -1, -1):
+            text += indent + "  " * (depth + 1) + "enddo\n"
+        return text
+
+    parts = []
+    # phases 1-3: tridiagonal coefficient initialization (1-D loops)
+    parts.append(
+        f"c --- {axis} computation: coefficients\n"
+        f"      do {v} = 1, n\n"
+        f"        {a}({v}) = 0.25 + 0.001 * {v}\n"
+        f"      enddo\n"
+        f"      do {v} = 1, n\n"
+        f"        {b}({v}) = 1.0 / (2.0 + 0.002 * {v})\n"
+        f"      enddo\n"
+        f"      do {v} = 1, n\n"
+        f"        {c}({v}) = 0.25 - 0.001 * {v}\n"
+        f"      enddo\n"
+    )
+    # phase 4: interior right-hand side (central difference on f)
+    parts.append(
+        f"c phase: {axis} rhs interior (parallel, shift on f)\n"
+        + full_nest(
+            f"{u}{ref(v)} = 0.5 * (f{ref(v + ' + 1')} - f{ref(v + ' - 1')})",
+            lo="2",
+            hi="n - 1",
+        )
+    )
+    # phases 5-6: boundary planes
+    parts.append(
+        f"c phase: {axis} rhs boundary low\n"
+        + plane_nest(f"{u}{ref('1')} = f{ref('2')} - f{ref('1')}")
+    )
+    parts.append(
+        f"c phase: {axis} rhs boundary high\n"
+        + plane_nest(f"{u}{ref('n')} = f{ref('n')} - f{ref('n - 1')}")
+    )
+    # phase 7: scale by diagonal
+    parts.append(
+        f"c phase: {axis} scale rhs\n"
+        + full_nest(f"{u}{ref(v)} = {u}{ref(v)} * {b}({v})")
+    )
+    # phase 8: forward elimination (flow dependence along the sweep dim)
+    parts.append(
+        f"c phase: {axis} forward elimination (flow dep on {v})\n"
+        + full_nest(
+            f"{u}{ref(v)} = {u}{ref(v)} - {a}({v}) * {u}{ref(v + ' - 1')}",
+            lo="2",
+        )
+    )
+    # phase 9: last-plane adjustment
+    parts.append(
+        f"c phase: {axis} last plane\n"
+        + plane_nest(f"{u}{ref('n')} = {u}{ref('n')} * {b}(n)")
+    )
+    # phase 10: backward substitution (flow dependence along the sweep dim)
+    parts.append(
+        f"c phase: {axis} backward substitution (flow dep on {v})\n"
+        + full_nest(
+            f"{u}{ref(v)} = {u}{ref(v)} - {c}({v}) * {u}{ref(v + ' + 1')}",
+            hi="n - 1",
+            rev=True,
+        )
+    )
+    # phase 11: normalization against the field
+    parts.append(
+        f"c phase: {axis} normalize\n"
+        + full_nest(f"{u}{ref(v)} = {u}{ref(v)} * {b}({v}) + 0.01 * f{ref(v)}")
+    )
+    # phase 12: damping correction
+    parts.append(
+        f"c phase: {axis} damping\n"
+        + full_nest(f"{u}{ref(v)} = {u}{ref(v)} - 0.01 * f{ref(v)}")
+    )
+    # phase 13: low-boundary smoothing plane
+    parts.append(
+        f"c phase: {axis} boundary smoothing\n"
+        + plane_nest(f"{u}{ref('1')} = 2.0 * {u}{ref('1')} - 0.5 * {u}{ref('2')}")
+    )
+    return "".join(parts)
+
+
+def source(n: int = 64, dtype: str = "double") -> str:
+    """Fortran-subset source of Erlebacher for an ``n^3`` problem."""
+    decl = _DECL[dtype]
+    return (
+        f"""
+program erlebacher
+      implicit none
+      integer n
+      parameter (n = {n})
+      {decl} f(n, n, n), ux(n, n, n), uy(n, n, n), uz(n, n, n)
+      {decl} ax(n), bx(n), cx(n)
+      {decl} ay(n), by(n), cy(n)
+      {decl} az(n), bz(n), cz(n)
+      integer i, j, k
+
+c --- phase 1: field initialization -------------------------------------
+      do k = 1, n
+        do j = 1, n
+          do i = 1, n
+            f(i, j, k) = 1.0 + 0.5 * i + 0.25 * j + 0.125 * k
+          enddo
+        enddo
+      enddo
+
+"""
+        + _direction("x")
+        + "\n"
+        + _direction("y")
+        + "\n"
+        + _direction("z")
+        + "      end\n"
+    )

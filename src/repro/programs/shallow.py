@@ -1,0 +1,169 @@
+"""Shallow — NCAR shallow-water-equations weather prediction benchmark.
+
+Re-creation of Paul Swarztrauber's ~200-line benchmark as the paper uses
+it:
+
+* 28 phases: five initialization phases plus twenty-three phases inside
+  the time-step loop;
+* the main computations are two-dimensional finite-difference stencils
+  parallelizable in either dimension — no loop-carried flow dependences
+  and no inter-dimensional alignment conflicts, so every candidate layout
+  search space has exactly two entries (row / column);
+* a **row** distribution communicates boundary *rows*, which are strided
+  in column-major storage and therefore need message buffering; the
+  column distribution sends contiguous columns — hence column should
+  perform slightly better, as the paper observes;
+* the periodic-continuation phases (1-D wrap-around copies) communicate
+  under one distribution and stay local under the other, symmetrically.
+"""
+
+from __future__ import annotations
+
+_DECL = {"double": "double precision", "real": "real"}
+
+EXPECTED_PHASES = 28
+
+
+def _wrap_phases(name: str) -> str:
+    """Periodic continuation for one field: copy last row to first and
+    last column to first (two 1-D phases)."""
+    return f"""
+        do j = 1, n
+          {name}(1, j) = {name}(n, j)
+        enddo
+        do i = 1, n
+          {name}(i, 1) = {name}(i, n)
+        enddo
+"""
+
+
+def source(n: int = 384, dtype: str = "real", maxiter: int = 5) -> str:
+    """Fortran-subset source of Shallow for an ``n x n`` grid."""
+    decl = _DECL[dtype]
+    return f"""
+program shallow
+      implicit none
+      integer n, maxiter
+      parameter (n = {n}, maxiter = {maxiter})
+      {decl} u(n, n), v(n, n), p(n, n)
+      {decl} unew(n, n), vnew(n, n), pnew(n, n)
+      {decl} uold(n, n), vold(n, n), pold(n, n)
+      {decl} cu(n, n), cv(n, n), z(n, n), h(n, n), psi(n, n)
+      {decl} alpha, tdt, fsdx, fsdy
+      integer i, j, iter
+
+      alpha = 0.001
+      tdt = 90.0
+      fsdx = 4.0 / 100000.0
+      fsdy = 4.0 / 100000.0
+
+c --- phase 1: stream function ------------------------------------------
+      do j = 1, n
+        do i = 1, n
+          psi(i, j) = 50000.0 * sin(0.01 * i) * sin(0.01 * j)
+        enddo
+      enddo
+c --- phase 2: pressure -------------------------------------------------
+      do j = 1, n
+        do i = 1, n
+          p(i, j) = 50000.0 + 2500.0 * cos(0.02 * j) * cos(0.04 * i)
+        enddo
+      enddo
+c --- phase 3: u velocity -----------------------------------------------
+      do j = 1, n - 1
+        do i = 1, n - 1
+          u(i + 1, j) = -(psi(i + 1, j + 1) - psi(i + 1, j)) * 0.001
+        enddo
+      enddo
+c --- phase 4: v velocity -----------------------------------------------
+      do j = 1, n - 1
+        do i = 1, n - 1
+          v(i, j + 1) = (psi(i + 1, j + 1) - psi(i, j + 1)) * 0.001
+        enddo
+      enddo
+c --- phase 5: save old fields ------------------------------------------
+      do j = 1, n
+        do i = 1, n
+          uold(i, j) = u(i, j)
+          vold(i, j) = v(i, j)
+          pold(i, j) = p(i, j)
+        enddo
+      enddo
+
+      do iter = 1, maxiter
+
+c --- phases 6-9: capital letters (mass fluxes, vorticity, height) ------
+        do j = 1, n - 1
+          do i = 1, n - 1
+            cu(i + 1, j) = 0.5 * (p(i + 1, j) + p(i, j)) * u(i + 1, j)
+          enddo
+        enddo
+        do j = 1, n - 1
+          do i = 1, n - 1
+            cv(i, j + 1) = 0.5 * (p(i, j + 1) + p(i, j)) * v(i, j + 1)
+          enddo
+        enddo
+        do j = 1, n - 1
+          do i = 1, n - 1
+            z(i + 1, j + 1) = (fsdx * (v(i + 1, j + 1) - v(i, j + 1)) -&
+              fsdy * (u(i + 1, j + 1) - u(i + 1, j))) /&
+              (p(i, j) + p(i + 1, j) + p(i + 1, j + 1) + p(i, j + 1))
+          enddo
+        enddo
+        do j = 1, n - 1
+          do i = 1, n - 1
+            h(i, j) = p(i, j) + 0.25 * (u(i + 1, j) * u(i + 1, j) +&
+              u(i, j) * u(i, j) + v(i, j + 1) * v(i, j + 1) +&
+              v(i, j) * v(i, j))
+          enddo
+        enddo
+
+c --- phases 10-17: periodic continuation for cu, cv, z, h --------------
+{_wrap_phases("cu")}{_wrap_phases("cv")}{_wrap_phases("z")}{_wrap_phases("h")}
+c --- phases 18-20: new time level --------------------------------------
+        do j = 2, n - 1
+          do i = 2, n - 1
+            unew(i, j) = uold(i, j) + 0.25 * tdt * (z(i, j + 1) +&
+              z(i, j)) * (cv(i, j + 1) + cv(i - 1, j + 1) + cv(i - 1, j)&
+              + cv(i, j)) - tdt * fsdx * (h(i, j) - h(i - 1, j))
+          enddo
+        enddo
+        do j = 2, n - 1
+          do i = 2, n - 1
+            vnew(i, j) = vold(i, j) - 0.25 * tdt * (z(i + 1, j) +&
+              z(i, j)) * (cu(i + 1, j) + cu(i, j) + cu(i, j - 1) +&
+              cu(i + 1, j - 1)) - tdt * fsdy * (h(i, j) - h(i, j - 1))
+          enddo
+        enddo
+        do j = 2, n - 1
+          do i = 2, n - 1
+            pnew(i, j) = pold(i, j) - tdt * fsdx * (cu(i + 1, j) -&
+              cu(i, j)) - tdt * fsdy * (cv(i, j + 1) - cv(i, j))
+          enddo
+        enddo
+
+c --- phases 21-26: periodic continuation for the new fields ------------
+{_wrap_phases("unew")}{_wrap_phases("vnew")}{_wrap_phases("pnew")}
+c --- phase 27: time smoothing of old fields ----------------------------
+        do j = 1, n
+          do i = 1, n
+            uold(i, j) = u(i, j) + alpha * (unew(i, j) - 2.0 * u(i, j)&
+              + uold(i, j))
+            vold(i, j) = v(i, j) + alpha * (vnew(i, j) - 2.0 * v(i, j)&
+              + vold(i, j))
+            pold(i, j) = p(i, j) + alpha * (pnew(i, j) - 2.0 * p(i, j)&
+              + pold(i, j))
+          enddo
+        enddo
+c --- phase 28: advance current fields ----------------------------------
+        do j = 1, n
+          do i = 1, n
+            u(i, j) = unew(i, j)
+            v(i, j) = vnew(i, j)
+            p(i, j) = pnew(i, j)
+          enddo
+        enddo
+
+      enddo
+      end
+"""

@@ -1,0 +1,176 @@
+"""Tomcatv — vectorized mesh-generation program (SPEC, APR adaptation).
+
+Re-creation of the structure the paper reports:
+
+* 17 phases: two initialization phases plus fifteen phases inside the main
+  iterative loop;
+* **inter-dimensional alignment conflicts for two of its 2-D arrays**: the
+  workspace arrays ``aa`` and ``dd`` are written canonically alongside the
+  mesh arrays in the coefficient phases, but the tridiagonal solver phases
+  access them *transposed* (``aa(j, i)`` next to ``rx(i, j)``);
+* the greedy reverse-postorder partitioner therefore splits the phases
+  into two classes, whose mutual imports create two conflicted merged CAGs
+  that are resolved optimally by the 0-1 formulation;
+* the solver sweeps carry flow dependences along dimension 1 with ``i``
+  innermost, so a row (dim-1) distribution fine-grain-pipelines them while
+  a column (dim-2) distribution stays parallel — making column-wise the
+  best layout nearly always, as in the paper;
+* control flow inside the main loop (the residual test guarding the
+  smoothing phases) exercises the 50%-branch-probability guess studied in
+  Figure 6.
+"""
+
+from __future__ import annotations
+
+_DECL = {"double": "double precision", "real": "real"}
+
+EXPECTED_PHASES = 17
+
+#: Source line (1-based, within :func:`source` output) of the IF statement
+#: guarding the smoothing phases; used to override its branch probability
+#: in the Figure 6 experiment.  Kept in sync by tests.
+SMOOTHING_IF_LINE_MARKER = "if (rmax .gt. tol) then"
+
+
+def source(n: int = 128, dtype: str = "double", maxiter: int = 5) -> str:
+    """Fortran-subset source of Tomcatv for an ``n x n`` mesh."""
+    decl = _DECL[dtype]
+    return f"""
+program tomcatv
+      implicit none
+      integer n, maxiter
+      parameter (n = {n}, maxiter = {maxiter})
+      {decl} x(n, n), y(n, n)
+      {decl} rx(n, n), ry(n, n)
+      {decl} aa(n, n), dd(n, n)
+      {decl} rmax, tol, omega
+      integer i, j, iter
+
+      tol = 0.000001
+      omega = 0.8
+
+c --- phase 1: mesh initialization --------------------------------------
+      do j = 1, n
+        do i = 1, n
+          x(i, j) = 0.25 * i + 0.003 * j
+          y(i, j) = 0.25 * j - 0.001 * i
+        enddo
+      enddo
+c --- phase 2: workspace initialization ---------------------------------
+      do j = 1, n
+        do i = 1, n
+          rx(i, j) = 0.0
+          ry(i, j) = 0.0
+          aa(i, j) = -0.5
+          dd(i, j) = 2.0
+        enddo
+      enddo
+
+      do iter = 1, maxiter
+
+c --- phase 3: residual in x (5-point stencil) --------------------------
+        do j = 2, n - 1
+          do i = 2, n - 1
+            rx(i, j) = x(i + 1, j) - 2.0 * x(i, j) + x(i - 1, j) +&
+                       x(i, j + 1) - 2.0 * x(i, j) + x(i, j - 1)
+          enddo
+        enddo
+c --- phase 4: residual in y --------------------------------------------
+        do j = 2, n - 1
+          do i = 2, n - 1
+            ry(i, j) = y(i + 1, j) - 2.0 * y(i, j) + y(i - 1, j) +&
+                       y(i, j + 1) - 2.0 * y(i, j) + y(i, j - 1)
+          enddo
+        enddo
+c --- phase 5: solver coefficients aa (canonical access) ----------------
+        do j = 2, n - 1
+          do i = 2, n - 1
+            aa(i, j) = -0.125 * (x(i, j + 1) - x(i, j - 1)) -&
+                       0.125 * (y(i, j + 1) - y(i, j - 1))
+          enddo
+        enddo
+c --- phase 6: solver diagonal dd (canonical access) --------------------
+        do j = 2, n - 1
+          do i = 2, n - 1
+            dd(i, j) = 2.0 + 0.25 * (x(i + 1, j) - x(i - 1, j)) +&
+                       0.25 * (y(i + 1, j) - y(i - 1, j))
+          enddo
+        enddo
+c --- phase 7: maximum residual (reduction) -----------------------------
+        rmax = 0.0
+        do j = 2, n - 1
+          do i = 2, n - 1
+            rmax = max(rmax, abs(rx(i, j)) + abs(ry(i, j)))
+          enddo
+        enddo
+c --- phase 8: forward elimination for rx (aa/dd transposed) ------------
+        do j = 2, n - 1
+          do i = 3, n - 1
+            rx(i, j) = rx(i, j) - aa(j, i) * rx(i - 1, j) / dd(j, i - 1)
+          enddo
+        enddo
+c --- phase 9: backward substitution for rx (aa/dd transposed) ----------
+        do j = 2, n - 1
+          do i = n - 2, 2, -1
+            rx(i, j) = (rx(i, j) - aa(j, i) * rx(i + 1, j)) / dd(j, i)
+          enddo
+        enddo
+c --- phase 10: forward elimination for ry ------------------------------
+        do j = 2, n - 1
+          do i = 3, n - 1
+            ry(i, j) = ry(i, j) - aa(j, i) * ry(i - 1, j) / dd(j, i - 1)
+          enddo
+        enddo
+c --- phase 11: backward substitution for ry ----------------------------
+        do j = 2, n - 1
+          do i = n - 2, 2, -1
+            ry(i, j) = (ry(i, j) - aa(j, i) * ry(i + 1, j)) / dd(j, i)
+          enddo
+        enddo
+c --- phase 12: mesh correction in x ------------------------------------
+        do j = 2, n - 1
+          do i = 2, n - 1
+            x(i, j) = x(i, j) + omega * rx(i, j)
+          enddo
+        enddo
+c --- phase 13: mesh correction in y ------------------------------------
+        do j = 2, n - 1
+          do i = 2, n - 1
+            y(i, j) = y(i, j) + omega * ry(i, j)
+          enddo
+        enddo
+c --- phase 14: bottom boundary extrapolation ---------------------------
+        do i = 1, n
+          x(i, 1) = 2.0 * x(i, 2) - x(i, 3)
+        enddo
+c --- phase 15: top boundary extrapolation ------------------------------
+        do i = 1, n
+          y(i, n) = 2.0 * y(i, n - 1) - y(i, n - 2)
+        enddo
+c --- phases 16-17: smoothing, guarded by the residual test -------------
+        if (rmax .gt. tol) then
+          do j = 2, n - 1
+            do i = 2, n - 1
+              x(i, j) = x(i, j) + 0.025 * (rx(i + 1, j) +&
+                        rx(i - 1, j) + rx(i, j + 1) + rx(i, j - 1))
+            enddo
+          enddo
+          do j = 2, n - 1
+            do i = 2, n - 1
+              y(i, j) = y(i, j) + 0.025 * (ry(i + 1, j) +&
+                        ry(i - 1, j) + ry(i, j + 1) + ry(i, j - 1))
+            enddo
+          enddo
+        endif
+
+      enddo
+      end
+"""
+
+
+def smoothing_if_line(src: str) -> int:
+    """Source line of the residual-test IF (for branch-prob overrides)."""
+    for lineno, text in enumerate(src.splitlines(), start=1):
+        if SMOOTHING_IF_LINE_MARKER in text:
+            return lineno
+    raise ValueError("smoothing IF not found in Tomcatv source")

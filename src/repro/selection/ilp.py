@@ -1,0 +1,142 @@
+"""0-1 integer programming formulation of the data layout selection
+problem (Bixby, Kennedy, Kremer — PACT'94; paper Section 2.4).
+
+The problem — pick one candidate per phase minimizing node costs plus
+remapping edge costs — is NP-complete (Kremer '93).  The 0-1 translation:
+
+* node variables ``x[p,i]``: candidate ``i`` selected for phase ``p``;
+  exactly-one constraints per phase;
+* edge variables ``y[p,i,q,j]`` for every remapping edge with positive
+  cost, with ``y >= x[p,i] + x[q,j] - 1`` linking constraints (since edge
+  costs are positive and the objective minimizes, ``y`` is driven to the
+  indicator of both endpoints being selected);
+* objective: minimize ``sum x * node_cost + sum y * edge_cost``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..ilp import MINIMIZE, Solution, ZeroOneModel, solve as ilp_solve
+from .layout_graph import DataLayoutGraph
+
+
+def _x(phase: int, cand: int) -> str:
+    return f"x:{phase}:{cand}"
+
+
+def _y(p: int, i: int, q: int, j: int) -> str:
+    return f"y:{p}:{i}:{q}:{j}"
+
+
+@dataclass
+class SelectionILP:
+    """Built model plus decode metadata."""
+
+    model: ZeroOneModel
+    graph: DataLayoutGraph
+
+    @property
+    def num_variables(self) -> int:
+        return self.model.num_variables
+
+    @property
+    def num_constraints(self) -> int:
+        return self.model.num_constraints
+
+
+def build_selection_model(
+    graph: DataLayoutGraph,
+    allowed: Optional[Dict[int, set]] = None,
+) -> SelectionILP:
+    """Translate the data layout graph into the 0-1 selection model.
+
+    ``allowed`` optionally restricts the candidate positions per phase
+    (used to solve for the best layout *within* a static scheme, and to
+    honour user edits of the search spaces)."""
+    model = ZeroOneModel(name="layout-selection", sense=MINIMIZE)
+    objective: Dict[str, float] = {}
+
+    for phase_index, costs in sorted(graph.node_costs.items()):
+        for cand, cost in enumerate(costs):
+            var = model.add_var(_x(phase_index, cand))
+            objective[var] = cost
+        model.add_constraint(
+            {_x(phase_index, c): 1.0 for c in range(len(costs))},
+            "==",
+            1.0,
+            name=f"one-layout:{phase_index}",
+        )
+        if allowed is not None and phase_index in allowed:
+            for cand in range(len(costs)):
+                if cand not in allowed[phase_index]:
+                    model.add_constraint(
+                        {_x(phase_index, cand): 1.0},
+                        "==",
+                        0.0,
+                        name=f"forbid:{phase_index}:{cand}",
+                    )
+
+    for edge in graph.edges:
+        p, q = edge.src_phase, edge.dst_phase
+        for (i, j), cost in sorted(edge.costs.items()):
+            yvar = model.add_var(_y(p, i, q, j))
+            objective[yvar] = cost
+            # y >= x_p_i + x_q_j - 1
+            model.add_constraint(
+                {
+                    yvar: 1.0,
+                    _x(p, i): -1.0,
+                    _x(q, j): -1.0,
+                },
+                ">=",
+                -1.0,
+                name=f"remap:{p}:{i}->{q}:{j}",
+            )
+    model.set_objective(objective)
+    return SelectionILP(model=model, graph=graph)
+
+
+@dataclass
+class SelectionResult:
+    """Optimal selection: candidate position per phase."""
+
+    selection: Dict[int, int]
+    objective: float
+    solution: Solution
+    num_variables: int
+    num_constraints: int
+
+
+def select_layouts(
+    graph: DataLayoutGraph,
+    backend: str = "scipy",
+    allowed: Optional[Dict[int, set]] = None,
+) -> SelectionResult:
+    """Solve the selection problem to proven optimality."""
+    ilp = build_selection_model(graph, allowed=allowed)
+    solution = ilp_solve(ilp.model, backend=backend)
+    if not solution.is_optimal:
+        raise RuntimeError(f"selection ILP {solution.status}")
+    selection: Dict[int, int] = {}
+    for phase_index, costs in graph.node_costs.items():
+        for cand in range(len(costs)):
+            if solution.values.get(_x(phase_index, cand)) == 1:
+                selection[phase_index] = cand
+                break
+        else:  # pragma: no cover - exactly-one constraint guarantees this
+            raise AssertionError(f"no candidate chosen for {phase_index}")
+    # Cross-check the ILP objective against the shared evaluator.
+    evaluated = graph.evaluate(selection)
+    if abs(evaluated - solution.objective) > max(1e-6 * evaluated, 1e-3):
+        raise AssertionError(
+            f"ILP objective {solution.objective} != evaluated {evaluated}"
+        )
+    return SelectionResult(
+        selection=selection,
+        objective=evaluated,
+        solution=solution,
+        num_variables=ilp.num_variables,
+        num_constraints=ilp.num_constraints,
+    )

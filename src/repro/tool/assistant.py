@@ -1,0 +1,158 @@
+"""The data layout assistant: the paper's four framework steps end to end.
+
+1. partition the program into phases and build the PCFG;
+2. construct alignment and candidate-layout search spaces;
+3. estimate every candidate (and remapping costs) against the machine's
+   training sets;
+4. select one candidate per phase with the 0-1 optimum.
+
+The result object keeps every intermediate structure browsable — the
+framework is designed for an interactive tool, so search spaces can be
+inspected and edited before re-running selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..alignment.search_space import (
+    AlignmentSearchSpaces,
+    build_alignment_search_spaces,
+)
+from ..analysis.pcfg import PCFG, build_pcfg
+from ..analysis.phases import (
+    DEFAULT_BRANCH_PROBABILITY,
+    PhasePartition,
+    partition_phases,
+)
+from ..distribution.layouts import DataLayout
+from ..distribution.search_space import (
+    DistributionOptions,
+    LayoutSearchSpaces,
+    build_layout_search_spaces,
+)
+from ..distribution.template import Template, determine_template
+from ..frontend import ast
+from ..frontend.inline import inline_program
+from ..frontend.parser import parse_source_file
+from ..frontend.symbols import SymbolTable, build_symbol_table
+from ..machine.params import IPSC860, MachineParams
+from ..perf.compiler_model import FORTRAN_D_PROTOTYPE, CompilerOptions
+from ..perf.estimator import EstimationResult, estimate_search_spaces
+from ..perf.training import TrainingDatabase, cached_training_database
+from ..selection.ilp import SelectionResult, select_layouts
+from ..selection.layout_graph import DataLayoutGraph, build_layout_graph
+
+
+@dataclass
+class AssistantConfig:
+    """Everything the framework is parameterized with (compiler, machine,
+    problem size via the source text, and processor count)."""
+
+    nprocs: int
+    machine: MachineParams = IPSC860
+    compiler: CompilerOptions = FORTRAN_D_PROTOTYPE
+    distributions: DistributionOptions = field(
+        default_factory=DistributionOptions.prototype
+    )
+    ilp_backend: str = "scipy"
+    branch_probability: float = DEFAULT_BRANCH_PROBABILITY
+    branch_prob_overrides: Optional[Dict[int, float]] = None
+
+
+@dataclass
+class AssistantResult:
+    """All four steps' outputs, plus the final selected layouts."""
+
+    config: AssistantConfig
+    program: ast.Program
+    symbols: SymbolTable
+    partition: PhasePartition
+    pcfg: PCFG
+    template: Template
+    alignment_spaces: AlignmentSearchSpaces
+    layout_spaces: LayoutSearchSpaces
+    estimates: EstimationResult
+    graph: DataLayoutGraph
+    selection: SelectionResult
+    db: TrainingDatabase
+
+    @property
+    def selected_layouts(self) -> Dict[int, DataLayout]:
+        return {
+            idx: self.layout_spaces.per_phase[idx][pos].layout
+            for idx, pos in self.selection.selection.items()
+        }
+
+    @property
+    def predicted_total_us(self) -> float:
+        return self.selection.objective
+
+    @property
+    def is_dynamic(self) -> bool:
+        """Does the selected layout remap anything?"""
+        sel = self.selection.selection
+        for edge in self.graph.edges:
+            pair = (sel[edge.src_phase], sel[edge.dst_phase])
+            if edge.costs.get(pair, 0.0) > 0.0:
+                return True
+        return False
+
+    def reselect(self, allowed: Optional[Dict[int, Set[int]]] = None
+                 ) -> SelectionResult:
+        """Re-run the selection step, optionally restricted — the hook for
+        user edits of the search spaces."""
+        return select_layouts(
+            self.graph, backend=self.config.ilp_backend, allowed=allowed
+        )
+
+
+def run_assistant(source: str, config: AssistantConfig) -> AssistantResult:
+    """Run the four framework steps on Fortran source text.
+
+    Multi-unit files (PROGRAM plus SUBROUTINEs) are inlined first — the
+    framework itself is intra-procedural, like the paper's prototype, but
+    the tool performs the inlining its authors did by hand.
+    """
+    program = inline_program(parse_source_file(source))
+    symbols = build_symbol_table(program)
+    partition = partition_phases(
+        program,
+        symbols,
+        branch_probability=config.branch_probability,
+        branch_prob_overrides=config.branch_prob_overrides,
+    )
+    pcfg = build_pcfg(partition)
+    template = determine_template(symbols)
+    alignment_spaces = build_alignment_search_spaces(
+        partition.phases, pcfg, symbols, template,
+        backend=config.ilp_backend,
+    )
+    layout_spaces = build_layout_search_spaces(
+        partition.phases, alignment_spaces, template, symbols,
+        nprocs=config.nprocs, options=config.distributions,
+    )
+    db = cached_training_database(config.machine)
+    estimates = estimate_search_spaces(
+        partition.phases, layout_spaces, symbols, config.machine,
+        db=db, options=config.compiler,
+    )
+    graph = build_layout_graph(
+        partition.phases, pcfg, estimates, symbols, db, config.nprocs
+    )
+    selection = select_layouts(graph, backend=config.ilp_backend)
+    return AssistantResult(
+        config=config,
+        program=program,
+        symbols=symbols,
+        partition=partition,
+        pcfg=pcfg,
+        template=template,
+        alignment_spaces=alignment_spaces,
+        layout_spaces=layout_spaces,
+        estimates=estimates,
+        graph=graph,
+        selection=selection,
+        db=db,
+    )

@@ -1,0 +1,192 @@
+"""Command-line interface of the data layout assistant.
+
+Usage examples::
+
+    autolayout analyze --program adi --size 256 --procs 16
+    autolayout analyze --file mycode.f --procs 8 --show-spaces
+    autolayout compare --program erlebacher --size 64 --procs 16
+    autolayout summary --programs adi shallow --quick
+
+``analyze`` runs the four framework steps and prints the selected layout;
+``compare`` also measures every promising scheme on the simulated
+machine; ``summary`` reproduces the paper's aggregate statistics over the
+test-case grids.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..machine.params import MACHINES
+from ..programs.registry import PROGRAMS
+from .assistant import AssistantConfig, run_assistant
+from .report import (
+    format_schemes,
+    format_search_spaces,
+    format_selection,
+    format_summary,
+    format_test_case,
+)
+from .schemes import enumerate_schemes, measure_scheme
+from .testcases import TestCase, grid_for, run_test_case, summarize
+
+
+def _load_source(args: argparse.Namespace) -> str:
+    if args.file:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            return handle.read()
+    spec = PROGRAMS[args.program]
+    kwargs = {"n": args.size or spec.default_size,
+              "dtype": args.dtype or spec.default_dtype}
+    if spec.has_time_loop:
+        kwargs["maxiter"] = args.maxiter
+    return spec.source_fn(**kwargs)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--program", choices=sorted(PROGRAMS),
+                        default="adi", help="bundled benchmark program")
+    parser.add_argument("--file", help="Fortran source file instead")
+    parser.add_argument("--size", type=int, help="problem size n")
+    parser.add_argument("--dtype", choices=["real", "double"])
+    parser.add_argument("--maxiter", type=int, default=3,
+                        help="time-loop iterations for iterative programs")
+    parser.add_argument("--procs", type=int, default=16,
+                        help="number of processors")
+    parser.add_argument("--machine", choices=sorted(MACHINES),
+                        default="ipsc860")
+    parser.add_argument("--backend", choices=["scipy", "branch-bound"],
+                        default="scipy", help="0-1 solver backend")
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    source = _load_source(args)
+    config = AssistantConfig(
+        nprocs=args.procs,
+        machine=MACHINES[args.machine],
+        ilp_backend=args.backend,
+    )
+    result = run_assistant(source, config)
+    if args.show_spaces:
+        print(format_search_spaces(result))
+        print()
+    print(format_selection(result))
+    from .memory import memory_footprint
+
+    report = memory_footprint(result.symbols, result.selected_layouts)
+    print(f"per-node memory: {report}")
+    if args.dot_dir:
+        import os
+
+        from .graphviz import export_dot
+
+        os.makedirs(args.dot_dir, exist_ok=True)
+        for name, text in export_dot(result).items():
+            path = os.path.join(args.dot_dir, name)
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"wrote {path}")
+    return 0
+
+
+def cmd_hpf(args: argparse.Namespace) -> int:
+    from .hpf_writer import write_hpf
+
+    source = _load_source(args)
+    config = AssistantConfig(
+        nprocs=args.procs,
+        machine=MACHINES[args.machine],
+        ilp_backend=args.backend,
+    )
+    result = run_assistant(source, config)
+    text = write_hpf(result)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    source = _load_source(args)
+    config = AssistantConfig(
+        nprocs=args.procs,
+        machine=MACHINES[args.machine],
+        ilp_backend=args.backend,
+    )
+    result = run_assistant(source, config)
+    schemes = enumerate_schemes(result)
+    for scheme in schemes:
+        measure_scheme(scheme, result, source)
+    print(format_schemes(schemes))
+    return 0
+
+
+def cmd_summary(args: argparse.Namespace) -> int:
+    programs = args.programs or sorted(PROGRAMS)
+    results = []
+    for name in programs:
+        spec = PROGRAMS[name]
+        cases = grid_for(spec)
+        if args.quick:
+            cases = cases[:: max(len(cases) // 4, 1)]
+        for case in cases:
+            result = run_test_case(case, machine=MACHINES[args.machine])
+            results.append(result)
+            if args.verbose:
+                print(format_test_case(result))
+                print()
+    print(format_summary(summarize(results)))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="autolayout",
+        description="Automatic data layout assistant for HPF-like programs "
+                    "(Kennedy & Kremer, SC'95 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_analyze = sub.add_parser("analyze", help="select a data layout")
+    _add_common(p_analyze)
+    p_analyze.add_argument("--show-spaces", action="store_true",
+                           help="print the candidate search spaces")
+    p_analyze.add_argument("--dot-dir",
+                           help="write PCFG / layout-graph DOT files here")
+    p_analyze.set_defaults(func=cmd_analyze)
+
+    p_compare = sub.add_parser(
+        "compare", help="measure every promising scheme on the simulator"
+    )
+    _add_common(p_compare)
+    p_compare.set_defaults(func=cmd_compare)
+
+    p_hpf = sub.add_parser(
+        "hpf", help="emit the program with HPF layout directives"
+    )
+    _add_common(p_hpf)
+    p_hpf.add_argument("--output", "-o", help="write to a file")
+    p_hpf.set_defaults(func=cmd_hpf)
+
+    p_summary = sub.add_parser(
+        "summary", help="run test-case grids and print the summary table"
+    )
+    p_summary.add_argument("--programs", nargs="*", choices=sorted(PROGRAMS))
+    p_summary.add_argument("--machine", choices=sorted(MACHINES),
+                           default="ipsc860")
+    p_summary.add_argument("--quick", action="store_true",
+                           help="sample a few cases per program")
+    p_summary.add_argument("--verbose", action="store_true")
+    p_summary.set_defaults(func=cmd_summary)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,116 @@
+"""Alignment 0-1 formulation tests — including the paper's appendix
+example (Figure 8) and backend cross-checks."""
+
+import pytest
+
+from repro.alignment.cag import CAG
+from repro.alignment.ilp import build_alignment_model, resolve_conflicts
+
+
+def figure8_cag():
+    """The appendix example: two 2-D arrays x, y with a conflicting CAG.
+
+    Edges (x0, y0), (x1, y0), (x1, y1): y0 reachable from both x0 and x1
+    connects two dimensions of x — a conflict requiring a minimum-weight
+    2-partitioning.
+    """
+    cag = CAG()
+    cag.add_array("x", 2)
+    cag.add_array("y", 2)
+    cag.add_undirected_edge(("x", 0), ("y", 0), 10.0)
+    cag.add_undirected_edge(("x", 1), ("y", 0), 4.0)
+    cag.add_undirected_edge(("x", 1), ("y", 1), 10.0)
+    return cag
+
+
+class TestModelStructure:
+    def test_variable_count(self):
+        ilp = build_alignment_model(figure8_cag(), d=2)
+        # 4 nodes x 2 partitions + 3 edges x 2 partitions = 14
+        assert ilp.num_variables == 14
+
+    def test_constraint_count(self):
+        ilp = build_alignment_model(figure8_cag(), d=2)
+        # type1: 4; type2: 2 arrays x 2 partitions = 4;
+        # IN/OUT: number of nonempty SRC/SINK sets x d.
+        # Normalized direction x->y: SINK sets: (x0,y)={x0y0}, (x1,y)=
+        # {x1y0, x1y1}; SRC sets: (y0,x)={x0y0,x1y0}, (y1,x)={x1y1}
+        # => 4 groups x 2 = 8 edge constraints. Total 16.
+        assert ilp.num_constraints == 16
+
+    def test_rank_check(self):
+        cag = CAG()
+        cag.add_array("a", 3)
+        with pytest.raises(ValueError):
+            build_alignment_model(cag, d=2)
+
+
+@pytest.mark.parametrize("backend", ["scipy", "branch-bound"])
+class TestResolution:
+    def test_figure8_optimal_cut(self, backend):
+        """The optimal 2-partitioning cuts only the weight-4 edge."""
+        res = resolve_conflicts(figure8_cag(), d=2, backend=backend)
+        assert res.cut_weight == pytest.approx(4.0)
+        assert not res.resolved.has_conflict()
+        assert res.partitioning.aligned(("x", 0), ("y", 0))
+        assert res.partitioning.aligned(("x", 1), ("y", 1))
+        assert not res.partitioning.aligned(("x", 1), ("y", 0))
+
+    def test_conflict_free_cag_keeps_everything(self, backend):
+        cag = CAG()
+        cag.add_undirected_edge(("a", 0), ("b", 0), 3.0)
+        cag.add_undirected_edge(("a", 1), ("b", 1), 5.0)
+        res = resolve_conflicts(cag, d=2, backend=backend)
+        assert res.cut_weight == 0.0
+        assert res.resolved.num_edges == 2
+
+    def test_triangle_conflict_cuts_cheapest(self, backend):
+        # a0-b0 (8), b0-a1 (2): must cut one; cheapest is 2.
+        cag = CAG()
+        cag.add_array("a", 2)
+        cag.add_undirected_edge(("a", 0), ("b", 0), 8.0)
+        cag.add_undirected_edge(("b", 0), ("a", 1), 2.0)
+        res = resolve_conflicts(cag, d=2, backend=backend)
+        assert res.cut_weight == pytest.approx(2.0)
+
+    def test_weights_flip_the_choice(self, backend):
+        cag = CAG()
+        cag.add_array("a", 2)
+        cag.add_undirected_edge(("a", 0), ("b", 0), 2.0)
+        cag.add_undirected_edge(("b", 0), ("a", 1), 8.0)
+        res = resolve_conflicts(cag, d=2, backend=backend)
+        assert res.cut_weight == pytest.approx(2.0)
+        assert res.partitioning.aligned(("a", 1), ("b", 0))
+
+    def test_three_dimensional_template(self, backend):
+        # 1-D coefficient array pulled toward two dims of a 3-D array.
+        cag = CAG()
+        cag.add_array("u", 3)
+        cag.add_undirected_edge(("v", 0), ("u", 0), 6.0)
+        cag.add_undirected_edge(("v", 0), ("u", 2), 4.0)
+        res = resolve_conflicts(cag, d=3, backend=backend)
+        assert res.cut_weight == pytest.approx(4.0)
+
+    def test_every_node_assigned(self, backend):
+        res = resolve_conflicts(figure8_cag(), d=2, backend=backend)
+        assert set(res.assignment) == set(figure8_cag().nodes)
+        assert all(0 <= k < 2 for k in res.assignment.values())
+
+
+def test_backends_agree_on_objective():
+    cag = figure8_cag()
+    cag.add_undirected_edge(("x", 0), ("z", 1), 7.0)
+    cag.add_undirected_edge(("z", 0), ("y", 1), 3.0)
+    a = resolve_conflicts(cag, d=2, backend="scipy")
+    b = resolve_conflicts(cag, d=2, backend="branch-bound")
+    assert a.cut_weight == pytest.approx(b.cut_weight)
+
+
+def test_tomcatv_conflict_pair_sizes_match(tomcatv_assistant):
+    """The two import resolutions have identical model sizes but
+    different objectives (paper Section 4, Tomcatv)."""
+    res = tomcatv_assistant.alignment_spaces.resolutions
+    assert len(res) == 2
+    assert res[0].num_variables == res[1].num_variables
+    assert res[0].num_constraints == res[1].num_constraints
+    assert res[0].cut_weight != res[1].cut_weight

@@ -1,0 +1,81 @@
+"""CLI tests (analyze / compare / summary)."""
+
+import pytest
+
+from repro.tool.cli import main
+
+
+class TestAnalyze:
+    def test_analyze_bundled_program(self, capsys):
+        rc = main(["analyze", "--program", "adi", "--size", "32",
+                   "--procs", "4", "--maxiter", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "predicted execution time" in out
+        assert "TEMPLATE" in out
+
+    def test_analyze_show_spaces(self, capsys):
+        rc = main(["analyze", "--program", "shallow", "--size", "48",
+                   "--procs", "4", "--maxiter", "2", "--show-spaces"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "phase 0" in out
+        assert "loosely synchronous" in out
+
+    def test_analyze_from_file(self, tmp_path, capsys):
+        src = (
+            "program mini\n"
+            "      integer n\n      parameter (n = 16)\n"
+            "      real a(n, n), b(n, n)\n"
+            "      integer i, j\n"
+            "      do j = 1, n\n        do i = 2, n\n"
+            "          a(i, j) = b(i - 1, j)\n"
+            "        enddo\n      enddo\n"
+            "      end\n"
+        )
+        path = tmp_path / "mini.f"
+        path.write_text(src)
+        rc = main(["analyze", "--file", str(path), "--procs", "4"])
+        assert rc == 0
+        assert "predicted execution time" in capsys.readouterr().out
+
+    def test_analyze_branch_bound_backend(self, capsys):
+        rc = main(["analyze", "--program", "adi", "--size", "32",
+                   "--procs", "4", "--maxiter", "2",
+                   "--backend", "branch-bound"])
+        assert rc == 0
+
+    def test_analyze_paragon_machine(self, capsys):
+        rc = main(["analyze", "--program", "adi", "--size", "32",
+                   "--procs", "4", "--maxiter", "2",
+                   "--machine", "paragon"])
+        assert rc == 0
+
+
+class TestCompare:
+    def test_compare_prints_scheme_table(self, capsys):
+        rc = main(["compare", "--program", "adi", "--size", "32",
+                   "--procs", "4", "--maxiter", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "row" in out and "column" in out and "tool" in out
+        assert "estimated" in out and "measured" in out
+
+
+class TestSummary:
+    def test_quick_summary(self, capsys):
+        rc = main(["summary", "--programs", "shallow", "--quick"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "shallow" in out
+        assert "TOTAL" in out
+
+
+class TestArgErrors:
+    def test_unknown_program_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "--program", "linpack"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])

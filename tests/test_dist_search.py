@@ -1,0 +1,96 @@
+"""Distribution enumeration and layout search-space tests."""
+
+import pytest
+
+from repro.distribution.search_space import (
+    DistributionOptions,
+    enumerate_distributions,
+)
+from repro.distribution.template import Template
+
+
+class TestEnumeration:
+    def test_prototype_one_dim_block(self):
+        tpl = Template(rank=2, extents=(16, 16))
+        dists = enumerate_distributions(
+            tpl, 8, DistributionOptions.prototype()
+        )
+        assert len(dists) == 2
+        assert all(len(d.distributed_dims()) == 1 for d in dists)
+        assert {d.distributed_dims()[0] for d in dists} == {0, 1}
+
+    def test_three_dim_template(self):
+        tpl = Template(rank=3, extents=(8, 8, 8))
+        dists = enumerate_distributions(
+            tpl, 4, DistributionOptions.prototype()
+        )
+        assert len(dists) == 3
+
+    def test_cyclic_extension(self):
+        tpl = Template(rank=2, extents=(16, 16))
+        dists = enumerate_distributions(
+            tpl, 4, DistributionOptions(one_dim_cyclic=True)
+        )
+        kinds = {d.dims[d.distributed_dims()[0]].kind for d in dists}
+        assert kinds == {"block", "cyclic"}
+        assert len(dists) == 4
+
+    def test_block_cyclic_extension(self):
+        tpl = Template(rank=2, extents=(16, 16))
+        dists = enumerate_distributions(
+            tpl, 4, DistributionOptions(block_cyclic_sizes=(2, 4))
+        )
+        bc = [
+            d for d in dists
+            if d.dims[d.distributed_dims()[0]].kind == "block_cyclic"
+        ]
+        assert len(bc) == 4  # 2 sizes x 2 dims
+
+    def test_multi_dim_grids(self):
+        tpl = Template(rank=2, extents=(16, 16))
+        dists = enumerate_distributions(
+            tpl, 8, DistributionOptions(multi_dim_grids=True)
+        )
+        grids = [d for d in dists if len(d.distributed_dims()) == 2]
+        shapes = {
+            tuple(d.dims[t].procs for t in d.distributed_dims())
+            for d in grids
+        }
+        assert shapes == {(2, 4), (4, 2)}
+        assert all(d.total_procs == 8 for d in grids)
+
+    def test_extended_options(self):
+        tpl = Template(rank=2, extents=(16, 16))
+        dists = enumerate_distributions(
+            tpl, 4, DistributionOptions.extended()
+        )
+        assert len(dists) > 6
+
+
+class TestSearchSpaces:
+    def test_adi_two_candidates_per_phase(self, adi_assistant):
+        spaces = adi_assistant.layout_spaces
+        assert all(len(c) == 2 for c in spaces.per_phase.values())
+
+    def test_tomcatv_two_or_four(self, tomcatv_assistant):
+        spaces = tomcatv_assistant.layout_spaces
+        sizes = {len(c) for c in spaces.per_phase.values()}
+        assert sizes == {2, 4}
+
+    def test_positions_are_stable_indices(self, adi_assistant):
+        spaces = adi_assistant.layout_spaces
+        for cands in spaces.per_phase.values():
+            assert [c.position for c in cands] == list(range(len(cands)))
+
+    def test_signatures_unique_per_phase(self, tomcatv_assistant):
+        spaces = tomcatv_assistant.layout_spaces
+        for cands in spaces.per_phase.values():
+            sigs = [c.layout.signature() for c in cands]
+            assert len(set(sigs)) == len(sigs)
+
+    def test_total_candidates(self, adi_assistant):
+        assert adi_assistant.layout_spaces.total_candidates() == 18
+
+    def test_labels_mention_distribution(self, adi_assistant):
+        cand = adi_assistant.layout_spaces.per_phase[0][0]
+        assert "block@4" in cand.label

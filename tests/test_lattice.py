@@ -1,0 +1,169 @@
+"""Semi-lattice of alignment information: refinement, meet, join.
+
+Includes hypothesis property tests of the lattice laws over random
+partitionings of a fixed node universe.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alignment.cag import CAG
+from repro.alignment.lattice import Partitioning
+
+NODES = [("a", 0), ("a", 1), ("b", 0), ("b", 1), ("c", 0)]
+
+
+def parts(*blocks):
+    return Partitioning.of([set(b) for b in blocks])
+
+
+@st.composite
+def random_partitioning(draw):
+    """Random partitioning of NODES via random block tags."""
+    tags = [draw(st.integers(min_value=0, max_value=4)) for _ in NODES]
+    blocks = {}
+    for node, tag in zip(NODES, tags):
+        blocks.setdefault(tag, set()).add(node)
+    return Partitioning.of(blocks.values())
+
+
+class TestBasics:
+    def test_bottom_is_singletons(self):
+        bottom = Partitioning.bottom(NODES)
+        assert all(len(b) == 1 for b in bottom.blocks)
+        assert bottom.nodes == frozenset(NODES)
+
+    def test_of_normalizes_order(self):
+        p1 = parts([("a", 0), ("b", 0)], [("a", 1)])
+        p2 = parts([("a", 1)], [("b", 0), ("a", 0)])
+        assert p1 == p2
+
+    def test_overlapping_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            Partitioning(blocks=(
+                frozenset({("a", 0)}), frozenset({("a", 0), ("b", 0)}),
+            ))
+
+    def test_from_cag(self):
+        cag = CAG()
+        cag.add_array("a", 2)
+        cag.add_array("b", 2)
+        cag.add_undirected_edge(("a", 0), ("b", 0), 1.0)
+        p = Partitioning.from_cag(cag)
+        assert p.aligned(("a", 0), ("b", 0))
+        assert not p.aligned(("a", 1), ("b", 1))
+
+    def test_has_conflict(self):
+        assert parts([("a", 0), ("a", 1)], [("b", 0)], [("b", 1)],
+                     [("c", 0)]).has_conflict()
+        assert not parts([("a", 0), ("b", 0)], [("a", 1), ("b", 1)],
+                         [("c", 0)]).has_conflict()
+
+    def test_block_of(self):
+        p = parts([("a", 0), ("b", 0)], [("a", 1)], [("b", 1)], [("c", 0)])
+        assert p.block_of(("a", 0)) == frozenset({("a", 0), ("b", 0)})
+        with pytest.raises(KeyError):
+            p.block_of(("z", 9))
+
+
+class TestRefinement:
+    def test_bottom_refines_everything(self):
+        bottom = Partitioning.bottom(NODES)
+        p = parts([("a", 0), ("b", 0)], [("a", 1), ("b", 1)], [("c", 0)])
+        assert bottom.refines(p)
+        assert not p.refines(bottom)
+
+    def test_refines_is_reflexive(self):
+        p = parts([("a", 0), ("b", 0)], [("a", 1), ("b", 1)], [("c", 0)])
+        assert p.refines(p)
+
+    def test_different_node_sets_not_comparable(self):
+        p = Partitioning.bottom(NODES[:3])
+        q = Partitioning.bottom(NODES)
+        assert not p.refines(q)
+
+    def test_restricted_projection(self):
+        p = parts([("a", 0), ("b", 0), ("c", 0)], [("a", 1), ("b", 1)])
+        r = p.restricted(["a", "c"])
+        assert r.nodes == frozenset({("a", 0), ("a", 1), ("c", 0)})
+        assert r.aligned(("a", 0), ("c", 0))
+
+    def test_extended_adds_singletons(self):
+        p = parts([("a", 0), ("b", 0)])
+        e = p.extended(NODES)
+        assert e.nodes == frozenset(NODES)
+        assert e.block_of(("c", 0)) == frozenset({("c", 0)})
+
+
+class TestMeetJoin:
+    def test_meet_example(self):
+        p = parts([("a", 0), ("b", 0), ("c", 0)], [("a", 1), ("b", 1)])
+        q = parts([("a", 0), ("b", 0)], [("a", 1), ("b", 1), ("c", 0)])
+        meet = p.meet(q)
+        assert meet.aligned(("a", 0), ("b", 0))
+        assert not meet.aligned(("a", 0), ("c", 0))
+
+    def test_join_example(self):
+        p = parts([("a", 0), ("b", 0)], [("a", 1)], [("b", 1)], [("c", 0)])
+        q = parts([("b", 0), ("c", 0)], [("a", 0)], [("a", 1)], [("b", 1)])
+        join = p.join(q)
+        assert join.aligned(("a", 0), ("c", 0))
+
+    def test_join_can_conflict(self):
+        p = parts([("a", 0), ("b", 0)], [("a", 1)], [("b", 1)], [("c", 0)])
+        q = parts([("b", 0), ("a", 1)], [("a", 0)], [("b", 1)], [("c", 0)])
+        join = p.join(q)
+        assert join.has_conflict()
+
+    def test_mismatched_nodes_raise(self):
+        p = Partitioning.bottom(NODES[:3])
+        q = Partitioning.bottom(NODES)
+        with pytest.raises(ValueError):
+            p.meet(q)
+        with pytest.raises(ValueError):
+            p.join(q)
+
+
+@settings(max_examples=80, deadline=None)
+@given(p=random_partitioning(), q=random_partitioning())
+def test_meet_is_lower_bound(p, q):
+    meet = p.meet(q)
+    assert meet.refines(p)
+    assert meet.refines(q)
+
+
+@settings(max_examples=80, deadline=None)
+@given(p=random_partitioning(), q=random_partitioning())
+def test_join_is_upper_bound(p, q):
+    join = p.join(q)
+    assert p.refines(join)
+    assert q.refines(join)
+
+
+@settings(max_examples=80, deadline=None)
+@given(p=random_partitioning(), q=random_partitioning())
+def test_meet_join_commute(p, q):
+    assert p.meet(q) == q.meet(p)
+    assert p.join(q) == q.join(p)
+
+
+@settings(max_examples=50, deadline=None)
+@given(p=random_partitioning(), q=random_partitioning(),
+       r=random_partitioning())
+def test_meet_associative(p, q, r):
+    assert p.meet(q).meet(r) == p.meet(q.meet(r))
+
+
+@settings(max_examples=50, deadline=None)
+@given(p=random_partitioning())
+def test_meet_idempotent(p):
+    assert p.meet(p) == p
+    assert p.join(p) == p
+
+
+@settings(max_examples=50, deadline=None)
+@given(p=random_partitioning(), q=random_partitioning())
+def test_refines_iff_meet_equals_self(p, q):
+    # X ⊑ Y  <=>  X ⊓ Y = X  (standard lattice law)
+    assert p.refines(q) == (p.meet(q) == p)

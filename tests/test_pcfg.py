@@ -1,0 +1,164 @@
+"""PCFG construction and frequency tests."""
+
+import pytest
+
+from repro.analysis.pcfg import ENTRY, EXIT, build_pcfg
+from repro.analysis.phases import partition_phases
+from repro.frontend import build_symbol_table, parse_source
+
+
+def pcfg_for(src, **kwargs):
+    prog = parse_source(src)
+    table = build_symbol_table(prog)
+    part = partition_phases(prog, table, **kwargs)
+    return build_pcfg(part)
+
+
+def wrap(body):
+    return (
+        "program t\n"
+        "      integer n\n      parameter (n = 8)\n"
+        "      real a(n), b(n), c(n)\n      real s\n"
+        "      integer i, t1, t2\n"
+        f"{body}"
+        "      end\n"
+    )
+
+
+PHASE_A = "      do i = 1, n\n        a(i) = 1.0\n      enddo\n"
+PHASE_B = "      do i = 1, n\n        b(i) = a(i)\n      enddo\n"
+PHASE_C = "      do i = 1, n\n        c(i) = b(i)\n      enddo\n"
+
+
+class TestStraightLine:
+    def test_chain_frequencies(self):
+        pcfg = pcfg_for(wrap(PHASE_A + PHASE_B + PHASE_C))
+        assert pcfg.phase_frequency(0) == pytest.approx(1.0)
+        assert pcfg.phase_frequency(2) == pytest.approx(1.0)
+        assert sorted(pcfg.transitions()) == [
+            (0, 1, pytest.approx(1.0)),
+            (1, 2, pytest.approx(1.0)),
+        ]
+
+    def test_entry_and_exit_edges(self):
+        pcfg = pcfg_for(wrap(PHASE_A + PHASE_B))
+        assert pcfg.entry_edges() == [(0, pytest.approx(1.0))]
+        assert pcfg.graph.has_edge(1, EXIT)
+
+    def test_reverse_postorder_is_program_order(self):
+        pcfg = pcfg_for(wrap(PHASE_A + PHASE_B + PHASE_C))
+        assert pcfg.reverse_postorder() == [0, 1, 2]
+
+
+class TestLoops:
+    def test_loop_multiplies_frequency(self):
+        body = (
+            "      do t1 = 1, 5\n"
+            + PHASE_A + PHASE_B
+            + "      enddo\n"
+        )
+        pcfg = pcfg_for(wrap(body))
+        assert pcfg.phase_frequency(0) == pytest.approx(5.0)
+        assert pcfg.phase_frequency(1) == pytest.approx(5.0)
+
+    def test_back_edge_frequency(self):
+        body = "      do t1 = 1, 5\n" + PHASE_A + PHASE_B + "      enddo\n"
+        pcfg = pcfg_for(wrap(body))
+        trans = {(u, v): f for u, v, f in pcfg.transitions()}
+        assert trans[(0, 1)] == pytest.approx(5.0)
+        assert trans[(1, 0)] == pytest.approx(4.0)  # trips - 1
+
+    def test_nested_loops_multiply(self):
+        body = (
+            "      do t1 = 1, 3\n"
+            "        do t2 = 1, 4\n"
+            + PHASE_A
+            + "        enddo\n"
+            "      enddo\n"
+        )
+        pcfg = pcfg_for(wrap(body))
+        assert pcfg.phase_frequency(0) == pytest.approx(12.0)
+        trans = {(u, v): f for u, v, f in pcfg.transitions()}
+        # Self back-edge: 11 of 12 executions are followed by another.
+        assert trans[(0, 0)] == pytest.approx(11.0)
+
+    def test_phases_before_and_after_loop(self):
+        body = (
+            PHASE_A
+            + "      do t1 = 1, 3\n" + PHASE_B + "      enddo\n"
+            + PHASE_C
+        )
+        pcfg = pcfg_for(wrap(body))
+        trans = {(u, v): f for u, v, f in pcfg.transitions()}
+        assert trans[(0, 1)] == pytest.approx(1.0)
+        assert trans[(1, 1)] == pytest.approx(2.0)
+        assert trans[(1, 2)] == pytest.approx(1.0)
+
+    def test_empty_loop_is_transparent(self):
+        body = (
+            PHASE_A
+            + "      do t1 = 1, 5\n        s = s + 1.0\n      enddo\n"
+            + PHASE_B
+        )
+        pcfg = pcfg_for(wrap(body))
+        trans = {(u, v): f for u, v, f in pcfg.transitions()}
+        assert trans[(0, 1)] == pytest.approx(1.0)
+
+
+class TestBranchesInPCFG:
+    def test_branch_splits_frequency(self):
+        body = (
+            PHASE_A
+            + "      if (s .gt. 0.0) then\n" + PHASE_B + "      endif\n"
+            + PHASE_C
+        )
+        pcfg = pcfg_for(wrap(body))
+        assert pcfg.phase_frequency(1) == pytest.approx(0.5)
+        trans = {(u, v): f for u, v, f in pcfg.transitions()}
+        assert trans[(0, 1)] == pytest.approx(0.5)
+        assert trans[(0, 2)] == pytest.approx(0.5)  # fall-through
+        assert trans[(1, 2)] == pytest.approx(0.5)
+
+    def test_branch_else_side(self):
+        body = (
+            PHASE_A
+            + "      if (s .gt. 0.0) then\n" + PHASE_B
+            + "      else\n" + PHASE_C + "      endif\n"
+        )
+        pcfg = pcfg_for(wrap(body))
+        assert pcfg.phase_frequency(1) == pytest.approx(0.5)
+        assert pcfg.phase_frequency(2) == pytest.approx(0.5)
+
+    def test_branch_inside_loop(self):
+        body = (
+            "      do t1 = 1, 4\n"
+            + PHASE_A
+            + "        if (s .gt. 0.0) then\n" + PHASE_B + "        endif\n"
+            + "      enddo\n"
+        )
+        pcfg = pcfg_for(wrap(body), branch_probability=0.25)
+        assert pcfg.phase_frequency(0) == pytest.approx(4.0)
+        assert pcfg.phase_frequency(1) == pytest.approx(1.0)
+
+
+class TestProgramPCFGs:
+    def test_adi_back_edge_exists(self, adi_small):
+        _p, _s, _part, pcfg = adi_small
+        trans = {(u, v) for u, v, _ in pcfg.transitions()}
+        # last phase of the time loop transfers back to the first in-loop
+        # phase (phase 1; phase 0 is initialization outside the loop)
+        assert (8, 1) in trans
+
+    def test_erlebacher_is_straight_line(self, erlebacher_small):
+        _p, _s, part, pcfg = erlebacher_small
+        trans = pcfg.transitions()
+        assert len(trans) == len(part) - 1
+        assert all(v == u + 1 for u, v, _ in trans)
+
+    def test_total_flow_conserved(self, shallow_small):
+        _p, _s, _part, pcfg = shallow_small
+        # Entry emits mass 1, exit absorbs mass 1.
+        exit_mass = sum(
+            d["freq"] for _u, _v, d in pcfg.graph.in_edges(EXIT, data=True)
+        )
+        assert exit_mass == pytest.approx(1.0)
