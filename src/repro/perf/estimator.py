@@ -8,7 +8,7 @@ feeds the data layout graph of the selection step.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.phases import Phase
 from ..distribution.search_space import CandidateLayout, LayoutSearchSpaces
@@ -51,6 +51,37 @@ class EstimationResult:
         return self.per_phase[phase_index][position]
 
 
+def estimate_phase_candidates(
+    phase: Phase,
+    candidates: Sequence[CandidateLayout],
+    symbols: SymbolTable,
+    params: MachineParams,
+    db: TrainingDatabase,
+    nprocs: int,
+    options: CompilerOptions,
+) -> List[EstimatedCandidate]:
+    """Price every candidate of one phase.
+
+    A pure function of its arguments — no global state, no mutation of
+    inputs — so it is safe to ship to any worker (thread or process) and
+    the combined result is deterministic regardless of scheduling.
+    """
+    estimates = []
+    for candidate in candidates:
+        compiled = model_phase(phase, candidate.layout, symbols, params)
+        estimate = price_phase(compiled, db, nprocs, options)
+        estimates.append(
+            EstimatedCandidate(candidate=candidate, estimate=estimate)
+        )
+    return estimates
+
+
+#: a job runner maps the pure job function over argument tuples and
+#: returns the results *in submission order* (the service's worker pool
+#: provides a parallel one; ``None`` means run serially in-process).
+JobRunner = Callable[[Callable[..., object], Sequence[Tuple]], List]
+
+
 def estimate_search_spaces(
     phases: Sequence[Phase],
     spaces: LayoutSearchSpaces,
@@ -58,22 +89,31 @@ def estimate_search_spaces(
     params: MachineParams,
     db: Optional[TrainingDatabase] = None,
     options: CompilerOptions = FORTRAN_D_PROTOTYPE,
+    job_runner: Optional[JobRunner] = None,
 ) -> EstimationResult:
-    """Price every candidate layout of every phase."""
+    """Price every candidate layout of every phase.
+
+    With ``job_runner`` the per-phase pricing fans out as independent
+    jobs (one per phase); without it the same jobs run serially.  Both
+    paths execute :func:`estimate_phase_candidates` on identical inputs,
+    so costs are bitwise-equal either way.
+    """
     db = db or cached_training_database(params)
     nprocs = spaces.nprocs
-    per_phase: Dict[int, List[EstimatedCandidate]] = {}
     phase_by_index = {p.index: p for p in phases}
-    for phase_index, candidates in spaces.per_phase.items():
-        phase = phase_by_index[phase_index]
-        estimates = []
-        for candidate in candidates:
-            compiled = model_phase(phase, candidate.layout, symbols, params)
-            estimate = price_phase(compiled, db, nprocs, options)
-            estimates.append(
-                EstimatedCandidate(candidate=candidate, estimate=estimate)
-            )
-        per_phase[phase_index] = estimates
+    items = sorted(spaces.per_phase.items())
+    argtuples = [
+        (phase_by_index[idx], candidates, symbols, params, db, nprocs,
+         options)
+        for idx, candidates in items
+    ]
+    if job_runner is None:
+        results = [estimate_phase_candidates(*args) for args in argtuples]
+    else:
+        results = job_runner(estimate_phase_candidates, argtuples)
+    per_phase: Dict[int, List[EstimatedCandidate]] = {
+        idx: estimates for (idx, _), estimates in zip(items, results)
+    }
     return EstimationResult(
         per_phase=per_phase, db=db, nprocs=nprocs, options=options
     )

@@ -1,0 +1,51 @@
+"""The layout service: a batched, cached, parallel analysis server.
+
+The paper frames the framework as an interactive data layout assistant;
+this package turns the one-shot CLI pipeline into a long-lived service:
+
+- :mod:`server`   — the :class:`LayoutService` engine and TCP front end;
+- :mod:`cache`    — content-addressed per-stage result cache;
+- :mod:`pool`     — resilient ``concurrent.futures`` worker pool;
+- :mod:`jobs`     — the pure-function job boundary workers execute;
+- :mod:`metrics`  — counters, cache stats, wall-time histograms;
+- :mod:`protocol` — JSON request/response schemas;
+- :mod:`errors`   — the error taxonomy surfaced to clients.
+"""
+
+from .cache import StageCache, StageKeys
+from .errors import (
+    JobTimeoutError,
+    RequestTimeoutError,
+    RequestValidationError,
+    ServiceError,
+    WorkerPoolError,
+)
+from .metrics import Metrics
+from .pool import WorkerPool
+from .protocol import LayoutRequest, LayoutResponse, StageTiming
+from .server import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    LayoutServer,
+    LayoutService,
+    send_request,
+)
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "JobTimeoutError",
+    "LayoutRequest",
+    "LayoutResponse",
+    "LayoutServer",
+    "LayoutService",
+    "Metrics",
+    "RequestTimeoutError",
+    "RequestValidationError",
+    "ServiceError",
+    "StageCache",
+    "StageKeys",
+    "StageTiming",
+    "WorkerPool",
+    "send_request",
+]

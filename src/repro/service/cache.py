@@ -1,0 +1,218 @@
+"""Content-addressed, per-stage result cache.
+
+Every pipeline stage's output is stored under a key derived from the
+*content* that determines it — never from object identity or wall-clock
+time.  The keying scheme is a hash chain along the pipeline:
+
+- ``frontend``     <- sha256 of the raw source text (the only content
+  available before parsing);
+- ``program key``  <- sha256 of the *normalized* program (the pretty
+  printer's canonical rendering of the inlined AST), computed after the
+  frontend stage.  Downstream keys chain from this, so two sources that
+  differ only in whitespace or comments share every later stage;
+- ``partition``    <- program key + branch-probability settings;
+- ``alignment``    <- partition key + ILP backend;
+- ``distribution`` <- alignment key + nprocs + distribution options;
+- ``estimation``   <- distribution key + machine parameters + compiler
+  options;
+- ``selection``    <- estimation key + ILP backend.
+
+Machine and compiler parameters enter the chain only at the estimation
+stage, so swapping machines reuses everything up to and including the
+distribution stage; changing nprocs invalidates from the distribution
+stage down; editing only branch probabilities keeps the frontend hit.
+
+Storage is two-level: a small in-memory LRU in front of one pickle file
+per entry (``<root>/<stage>/<key>.pkl``).  Corrupt or unreadable files
+are treated as misses and deleted — a damaged cache can cost a
+recompute, never a wrong answer or a crash.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+from ..frontend.printer import format_program
+from ..perf.training import machine_cache_key
+from ..tool.assistant import AssistantConfig
+
+#: bump when a stage's output format changes incompatibly
+CACHE_VERSION = "v1"
+
+#: in-memory LRU entries kept in front of the disk store
+_MEMORY_ENTRIES = 64
+
+
+def _sha256(*parts: str) -> str:
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(part.encode("utf-8"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def _canonical(obj: Any) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+class StageKeys:
+    """The hash chain for one request (source + config)."""
+
+    def __init__(self, source: str, config: AssistantConfig):
+        self.config = config
+        cfg = config.to_dict()
+        self._branch = _canonical({
+            "branch_probability": cfg["branch_probability"],
+            "branch_prob_overrides": cfg["branch_prob_overrides"],
+        })
+        self._backend = cfg["ilp_backend"]
+        self._dist = _canonical(cfg["distributions"])
+        self._compiler = _canonical(cfg["compiler"])
+        self._nprocs = str(cfg["nprocs"])
+        self._machine = machine_cache_key(config.machine)
+
+        self.frontend = _sha256("frontend", CACHE_VERSION, source)
+        # downstream keys need the normalized program; they are derived
+        # lazily once the frontend stage has produced it.
+        self.program_key: Optional[str] = None
+
+    def bind_program(self, program) -> None:
+        """Derive the normalized-AST key once the frontend stage ran (or
+        hit); every downstream key chains from it."""
+        self.program_key = _sha256(
+            "program", CACHE_VERSION, format_program(program)
+        )
+
+    def _require_program(self) -> str:
+        if self.program_key is None:
+            raise RuntimeError("bind_program() must run before stage keys")
+        return self.program_key
+
+    @property
+    def partition(self) -> str:
+        return _sha256("partition", self._require_program(), self._branch)
+
+    @property
+    def alignment(self) -> str:
+        return _sha256("alignment", self.partition, self._backend)
+
+    @property
+    def distribution(self) -> str:
+        return _sha256(
+            "distribution", self.alignment, self._nprocs, self._dist
+        )
+
+    @property
+    def estimation(self) -> str:
+        return _sha256(
+            "estimation", self.distribution, self._machine, self._compiler
+        )
+
+    @property
+    def selection(self) -> str:
+        return _sha256("selection", self.estimation, self._backend)
+
+    def key_for(self, stage: str) -> str:
+        return getattr(self, stage)
+
+
+class StageCache:
+    """Two-level (memory LRU + disk) pickle store, keyed per stage.
+
+    ``root=None`` keeps the cache purely in memory — useful for tests
+    and for serving without a writable filesystem.
+    """
+
+    def __init__(self, root: Optional[str] = None,
+                 memory_entries: int = _MEMORY_ENTRIES):
+        self.root = root
+        self._memory: "OrderedDict[Tuple[str, str], Any]" = OrderedDict()
+        self._memory_entries = memory_entries
+        self._lock = threading.Lock()
+        if root:
+            os.makedirs(root, exist_ok=True)
+
+    # -- paths -----------------------------------------------------------
+
+    def _path(self, stage: str, key: str) -> str:
+        assert self.root is not None
+        return os.path.join(self.root, stage, f"{key}.pkl")
+
+    # -- operations ------------------------------------------------------
+
+    def load(self, stage: str, key: str) -> Tuple[bool, Any]:
+        """Return ``(hit, value)``; corruption counts as a miss."""
+        mem_key = (stage, key)
+        with self._lock:
+            if mem_key in self._memory:
+                self._memory.move_to_end(mem_key)
+                return True, self._memory[mem_key]
+        if not self.root:
+            return False, None
+        path = self._path(stage, key)
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except FileNotFoundError:
+            return False, None
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError):
+            # damaged entry: drop it and recompute
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return False, None
+        self._remember(mem_key, value)
+        return True, value
+
+    def store(self, stage: str, key: str, value: Any) -> None:
+        self._remember((stage, key), value)
+        if not self.root:
+            return
+        path = self._path(stage, key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        # write-then-rename so concurrent readers never see a torn file
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except OSError:
+            # a read-only or full disk degrades to memory-only caching
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+
+    def _remember(self, mem_key: Tuple[str, str], value: Any) -> None:
+        with self._lock:
+            self._memory[mem_key] = value
+            self._memory.move_to_end(mem_key)
+            while len(self._memory) > self._memory_entries:
+                self._memory.popitem(last=False)
+
+    def clear_memory(self) -> None:
+        with self._lock:
+            self._memory.clear()
+
+    def entry_count(self) -> Dict[str, int]:
+        """Disk entries per stage (for stats)."""
+        counts: Dict[str, int] = {}
+        if not self.root or not os.path.isdir(self.root):
+            return counts
+        for stage in sorted(os.listdir(self.root)):
+            stage_dir = os.path.join(self.root, stage)
+            if os.path.isdir(stage_dir):
+                counts[stage] = len([
+                    f for f in os.listdir(stage_dir) if f.endswith(".pkl")
+                ])
+        return counts

@@ -1,0 +1,124 @@
+"""Service observability: counters, per-stage cache stats, and wall-time
+histograms.
+
+Everything is in-process and thread-safe; a snapshot is a plain dict so
+it can travel over the wire protocol and be asserted on in tests.  The
+bucket layout follows the usual log-scale convention (Prometheus-style
+cumulative ``le`` buckets) over seconds.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+#: histogram bucket upper bounds, in seconds (+inf is implicit)
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+class Histogram:
+    """A fixed-bucket wall-time histogram (cumulative buckets)."""
+
+    def __init__(self, buckets: Tuple[float, ...] = DEFAULT_BUCKETS):
+        self.bounds = tuple(sorted(buckets))
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        buckets = {}
+        cumulative = 0
+        for bound, count in zip(self.bounds, self.counts):
+            cumulative += count
+            buckets[f"{bound:g}"] = cumulative
+        buckets["+Inf"] = self.count
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "buckets": buckets,
+        }
+
+
+class Metrics:
+    """All service counters behind one lock."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._cache: Dict[str, Dict[str, int]] = {}
+        self._stage_seconds: Dict[str, Histogram] = {}
+        self.started_at = time.time()
+
+    # -- recording -------------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def record_cache(self, stage: str, hit: bool) -> None:
+        with self._lock:
+            slot = self._cache.setdefault(stage, {"hits": 0, "misses": 0})
+            slot["hits" if hit else "misses"] += 1
+
+    def observe_stage(self, stage: str, seconds: float) -> None:
+        with self._lock:
+            hist = self._stage_seconds.get(stage)
+            if hist is None:
+                hist = self._stage_seconds[stage] = Histogram()
+            hist.observe(seconds)
+
+    # -- reading ---------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def cache_totals(self) -> Tuple[int, int]:
+        with self._lock:
+            hits = sum(s["hits"] for s in self._cache.values())
+            misses = sum(s["misses"] for s in self._cache.values())
+        return hits, misses
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            hits = sum(s["hits"] for s in self._cache.values())
+            misses = sum(s["misses"] for s in self._cache.values())
+            return {
+                "uptime_seconds": time.time() - self.started_at,
+                "counters": dict(self._counters),
+                "cache": {
+                    "hits": hits,
+                    "misses": misses,
+                    "per_stage": {
+                        stage: dict(slot)
+                        for stage, slot in sorted(self._cache.items())
+                    },
+                },
+                "stage_seconds": {
+                    stage: hist.snapshot()
+                    for stage, hist in sorted(self._stage_seconds.items())
+                },
+            }

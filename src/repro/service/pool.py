@@ -1,0 +1,203 @@
+"""Worker pool: parallel execution of pure jobs with graceful fallback.
+
+Built on :mod:`concurrent.futures`.  Three kinds:
+
+- ``process`` (default): true parallelism for the CPU-bound compiler /
+  execution models;
+- ``thread``: no GIL escape, but exercises the identical job path and
+  needs no picklable state — the automatic fallback when process pools
+  cannot start (restricted sandboxes, missing ``/dev/shm``);
+- ``serial``: plain in-process loop, the final fallback and the
+  reference behavior.
+
+Robustness contract: per-job timeouts (``job_timeout``), bounded retries
+on transient executor failures (``retries``), and degradation
+process -> thread -> serial whenever a pool cannot be (re)built.  Because
+jobs are pure (see :mod:`repro.service.jobs`), a retried or
+serially-degraded job returns exactly what the pooled run would have.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import (
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    TimeoutError as FuturesTimeoutError,
+)
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from .errors import JobTimeoutError
+from .jobs import TRANSIENT_EXECUTOR_ERRORS, build_jobs, run_job
+
+POOL_KINDS = ("process", "thread", "serial")
+
+
+class WorkerPool:
+    """A resilient wrapper around one ``concurrent.futures`` executor."""
+
+    def __init__(
+        self,
+        kind: str = "process",
+        max_workers: Optional[int] = None,
+        job_timeout: Optional[float] = None,
+        retries: int = 1,
+    ):
+        if kind not in POOL_KINDS:
+            raise ValueError(
+                f"pool kind must be one of {POOL_KINDS}, got {kind!r}"
+            )
+        self.requested_kind = kind
+        self.active_kind = kind
+        self.max_workers = max_workers
+        self.job_timeout = job_timeout
+        self.retries = max(retries, 0)
+        self._executor: Optional[Executor] = None
+        self._lock = threading.Lock()
+        self.degradations = 0
+
+    # -- executor lifecycle ----------------------------------------------
+
+    def _build(self, kind: str) -> Optional[Executor]:
+        """Try to build an executor of ``kind``, degrading down the
+        chain process -> thread -> serial on failure."""
+        order = POOL_KINDS[POOL_KINDS.index(kind):]
+        for candidate in order:
+            if candidate != kind:
+                self.degradations += 1
+            if candidate == "serial":
+                self.active_kind = "serial"
+                return None
+            cls = (ProcessPoolExecutor if candidate == "process"
+                   else ThreadPoolExecutor)
+            try:
+                executor = cls(max_workers=self.max_workers)
+                self.active_kind = candidate
+                return executor
+            except Exception:
+                continue
+        self.active_kind = "serial"
+        return None
+
+    def _ensure(self) -> Optional[Executor]:
+        with self._lock:
+            if self.active_kind == "serial":
+                return None
+            if self._executor is None:
+                self._executor = self._build(self.active_kind)
+            return self._executor
+
+    def _rebuild(self, broken: Optional[Executor]) -> Optional[Executor]:
+        """Replace a broken executor (once — concurrent callers that saw
+        the same breakage reuse the replacement)."""
+        with self._lock:
+            if self._executor is not broken:
+                return self._executor
+            if broken is not None:
+                broken.shutdown(wait=False, cancel_futures=True)
+            self._executor = self._build(self.active_kind)
+            return self._executor
+
+    def shutdown(self) -> None:
+        with self._lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=False, cancel_futures=True)
+                self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- running jobs ----------------------------------------------------
+
+    def run_jobs(self, fn: Callable[..., Any],
+                 argtuples: Sequence[Tuple]) -> List[Any]:
+        """Map ``fn`` over the argument tuples; results in input order.
+
+        This is the :data:`repro.perf.estimator.JobRunner` interface, so
+        a pool can be handed straight to ``estimate_search_spaces`` /
+        ``run_assistant``.
+        """
+        jobs = build_jobs(fn, argtuples)
+        if not jobs:
+            return []
+        executor = self._ensure()
+        if executor is None:
+            return [run_job(job).value for job in jobs]
+        try:
+            futures = [executor.submit(run_job, job) for job in jobs]
+        except (RuntimeError, *TRANSIENT_EXECUTOR_ERRORS):
+            # the executor died before accepting work — run this batch
+            # on whatever the rebuild gives us (possibly serial)
+            self._rebuild(executor)
+            return self._run_batch_degraded(jobs)
+        results: List[Any] = [None] * len(jobs)
+        for i, future in enumerate(futures):
+            try:
+                results[i] = future.result(timeout=self.job_timeout).value
+            except FuturesTimeoutError:
+                future.cancel()
+                raise JobTimeoutError(
+                    f"job {i} exceeded {self.job_timeout}s in "
+                    f"{self.active_kind} pool"
+                )
+            except TRANSIENT_EXECUTOR_ERRORS as exc:
+                results[i] = self._retry_job(jobs[i], executor, exc)
+        return results
+
+    def _run_batch_degraded(self, jobs) -> List[Any]:
+        executor = self._ensure()
+        if executor is None:
+            return [run_job(job).value for job in jobs]
+        futures = [executor.submit(run_job, job) for job in jobs]
+        out = []
+        for i, future in enumerate(futures):
+            try:
+                out.append(future.result(timeout=self.job_timeout).value)
+            except FuturesTimeoutError:
+                future.cancel()
+                raise JobTimeoutError(
+                    f"job {i} exceeded {self.job_timeout}s in "
+                    f"{self.active_kind} pool"
+                )
+            except TRANSIENT_EXECUTOR_ERRORS as exc:
+                out.append(self._retry_job(jobs[i], executor, exc))
+        return out
+
+    def _retry_job(self, job, broken: Optional[Executor],
+                   cause: BaseException) -> Any:
+        """Bounded retries on a rebuilt pool, then serial in-process."""
+        for _ in range(self.retries):
+            executor = self._rebuild(broken)
+            if executor is None:
+                break
+            try:
+                return executor.submit(run_job, job).result(
+                    timeout=self.job_timeout
+                ).value
+            except FuturesTimeoutError:
+                raise JobTimeoutError(
+                    f"job {job.index} exceeded {self.job_timeout}s on retry"
+                )
+            except TRANSIENT_EXECUTOR_ERRORS:
+                broken = executor
+                continue
+        # graceful degradation: the job is pure, so running it here
+        # yields the same value the pool would have produced
+        self.degradations += 1
+        return run_job(job).value
+
+    # -- introspection ---------------------------------------------------
+
+    def describe(self) -> dict:
+        return {
+            "requested_kind": self.requested_kind,
+            "active_kind": self.active_kind,
+            "max_workers": self.max_workers,
+            "job_timeout": self.job_timeout,
+            "retries": self.retries,
+            "degradations": self.degradations,
+        }

@@ -1,0 +1,248 @@
+"""Request/response schemas of the layout service.
+
+The wire format is JSON, one object per line (newline-delimited JSON
+over TCP).  Every request carries an ``op``:
+
+- ``analyze``  — run the framework, return selected layouts;
+- ``stats``    — observability snapshot (counters, cache, histograms);
+- ``ping``     — liveness probe;
+- ``shutdown`` — stop the server.
+
+``LayoutRequest.from_dict`` is the single validation choke point: every
+field is checked there so the server core only ever sees well-formed
+requests, and the CLI client gets the same errors locally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from ..distribution.layouts import DataLayout
+from ..machine.params import MACHINES
+from ..programs.registry import PROGRAMS
+from ..tool.assistant import AssistantConfig, AssistantResult
+from .errors import RequestValidationError
+
+#: ops a server understands
+OPS = ("analyze", "stats", "ping", "shutdown")
+
+#: fields accepted in an analyze request
+_ANALYZE_FIELDS = {
+    "op", "request_id", "program", "source", "size", "dtype", "maxiter",
+    "procs", "machine", "backend", "use_cache",
+}
+
+
+@dataclass
+class LayoutRequest:
+    """An ``analyze`` request: which program, at what size, for which
+    machine/processor count."""
+
+    procs: int
+    program: Optional[str] = None
+    source: Optional[str] = None
+    size: Optional[int] = None
+    dtype: Optional[str] = None
+    maxiter: int = 3
+    machine: Any = "ipsc860"  # registry name or MachineParams dict
+    backend: str = "scipy"
+    use_cache: bool = True
+    request_id: Optional[str] = None
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LayoutRequest":
+        unknown = set(data) - _ANALYZE_FIELDS
+        if unknown:
+            raise RequestValidationError(
+                f"unknown request fields: {sorted(unknown)}"
+            )
+        program = data.get("program")
+        source = data.get("source")
+        if bool(program) == bool(source):
+            raise RequestValidationError(
+                "exactly one of 'program' or 'source' is required"
+            )
+        if program is not None and program not in PROGRAMS:
+            raise RequestValidationError(
+                f"unknown program {program!r}; "
+                f"known: {sorted(PROGRAMS)}"
+            )
+        try:
+            procs = int(data["procs"])
+        except (KeyError, TypeError, ValueError):
+            raise RequestValidationError("'procs' (int >= 1) is required")
+        if procs < 1:
+            raise RequestValidationError(f"procs must be >= 1, got {procs}")
+        machine = data.get("machine", "ipsc860")
+        if isinstance(machine, str) and machine not in MACHINES:
+            raise RequestValidationError(
+                f"unknown machine {machine!r}; known: {sorted(MACHINES)}"
+            )
+        backend = data.get("backend", "scipy")
+        if backend not in ("scipy", "branch-bound"):
+            raise RequestValidationError(
+                f"unknown backend {backend!r}"
+            )
+        dtype = data.get("dtype")
+        if dtype is not None and dtype not in ("real", "double"):
+            raise RequestValidationError(f"unknown dtype {dtype!r}")
+        size = data.get("size")
+        return cls(
+            procs=procs,
+            program=program,
+            source=source,
+            size=int(size) if size is not None else None,
+            dtype=dtype,
+            maxiter=int(data.get("maxiter", 3)),
+            machine=machine,
+            backend=backend,
+            use_cache=bool(data.get("use_cache", True)),
+            request_id=data.get("request_id"),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"op": "analyze", "procs": self.procs}
+        for name in ("program", "source", "size", "dtype", "request_id"):
+            value = getattr(self, name)
+            if value is not None:
+                out[name] = value
+        out["maxiter"] = self.maxiter
+        out["machine"] = self.machine
+        out["backend"] = self.backend
+        out["use_cache"] = self.use_cache
+        return out
+
+    # -- resolution ------------------------------------------------------
+
+    def resolve_source(self) -> str:
+        """The Fortran source text this request is about."""
+        if self.source is not None:
+            return self.source
+        spec = PROGRAMS[self.program]
+        kwargs: Dict[str, Any] = {
+            "n": self.size or spec.default_size,
+            "dtype": self.dtype or spec.default_dtype,
+        }
+        if spec.has_time_loop:
+            kwargs["maxiter"] = self.maxiter
+        return spec.source_fn(**kwargs)
+
+    def resolve_config(self) -> AssistantConfig:
+        machine = self.machine
+        if isinstance(machine, str):
+            machine = MACHINES[machine]
+        return AssistantConfig.from_dict({
+            "nprocs": self.procs,
+            "machine": machine,
+            "ilp_backend": self.backend,
+        })
+
+
+@dataclass
+class StageTiming:
+    """Wall time + cache outcome of one pipeline stage."""
+
+    stage: str
+    seconds: float
+    cache_hit: bool
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "stage": self.stage,
+            "seconds": self.seconds,
+            "cache_hit": self.cache_hit,
+        }
+
+
+def serialize_layout(layout: DataLayout) -> Dict[str, Any]:
+    """A JSON-safe rendering of one selected layout."""
+    return {
+        "distribution": str(layout.distribution),
+        "alignments": {name: str(align)
+                       for name, align in layout.alignments},
+        "hpf": layout.describe(),
+    }
+
+
+@dataclass
+class LayoutResponse:
+    """The answer to an ``analyze`` request."""
+
+    ok: bool
+    request_id: Optional[str] = None
+    error: Optional[str] = None
+    error_kind: Optional[str] = None
+    predicted_total_us: Optional[float] = None
+    is_dynamic: Optional[bool] = None
+    layouts: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    stage_timings: List[StageTiming] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @classmethod
+    def from_result(
+        cls,
+        result: AssistantResult,
+        timings: List[StageTiming],
+        request_id: Optional[str] = None,
+    ) -> "LayoutResponse":
+        return cls(
+            ok=True,
+            request_id=request_id,
+            predicted_total_us=result.predicted_total_us,
+            is_dynamic=result.is_dynamic,
+            layouts={
+                str(idx): serialize_layout(layout)
+                for idx, layout in sorted(result.selected_layouts.items())
+            },
+            stage_timings=timings,
+            cache_hits=sum(1 for t in timings if t.cache_hit),
+            cache_misses=sum(1 for t in timings if not t.cache_hit),
+        )
+
+    @classmethod
+    def failure(cls, error: Exception,
+                request_id: Optional[str] = None) -> "LayoutResponse":
+        kind = getattr(error, "kind", "internal")
+        return cls(ok=False, request_id=request_id,
+                   error=f"{type(error).__name__}: {error}",
+                   error_kind=kind)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"ok": self.ok}
+        if self.request_id is not None:
+            out["request_id"] = self.request_id
+        if not self.ok:
+            out["error"] = self.error
+            out["error_kind"] = self.error_kind
+            return out
+        out.update({
+            "predicted_total_us": self.predicted_total_us,
+            "is_dynamic": self.is_dynamic,
+            "layouts": self.layouts,
+            "stage_timings": [t.to_dict() for t in self.stage_timings],
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        })
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LayoutResponse":
+        timings = [
+            StageTiming(stage=t["stage"], seconds=t["seconds"],
+                        cache_hit=t["cache_hit"])
+            for t in data.get("stage_timings", [])
+        ]
+        return cls(
+            ok=bool(data.get("ok")),
+            request_id=data.get("request_id"),
+            error=data.get("error"),
+            error_kind=data.get("error_kind"),
+            predicted_total_us=data.get("predicted_total_us"),
+            is_dynamic=data.get("is_dynamic"),
+            layouts=dict(data.get("layouts", {})),
+            stage_timings=timings,
+            cache_hits=int(data.get("cache_hits", 0)),
+            cache_misses=int(data.get("cache_misses", 0)),
+        )

@@ -1,0 +1,284 @@
+"""The layout-analysis server.
+
+Two layers:
+
+- :class:`LayoutService` — the in-process engine.  It runs the six
+  assistant stages with per-stage caching, per-stage wall-time metrics,
+  pooled estimation, and a per-request deadline.  Tests and embedders
+  use it directly;
+- :class:`LayoutServer` — a threaded TCP front end speaking the
+  newline-delimited JSON protocol of :mod:`repro.service.protocol`.
+  Independent requests fan out across connection threads while sharing
+  one stage cache, one metrics registry, and one worker pool.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+from concurrent.futures import (
+    ThreadPoolExecutor,
+    TimeoutError as FuturesTimeoutError,
+)
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..tool.assistant import (
+    AssistantResult,
+    stage_alignment,
+    stage_distribution,
+    stage_estimation,
+    stage_frontend,
+    stage_partition,
+    stage_selection,
+)
+from .cache import StageCache, StageKeys
+from .errors import RequestTimeoutError, ServiceError
+from .metrics import Metrics
+from .pool import WorkerPool
+from .protocol import LayoutRequest, LayoutResponse, StageTiming
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 7861
+
+
+class LayoutService:
+    """The long-lived analysis engine behind the protocol."""
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        pool: Optional[WorkerPool] = None,
+        metrics: Optional[Metrics] = None,
+        request_timeout: Optional[float] = None,
+        use_cache: bool = True,
+    ):
+        self.cache = StageCache(cache_dir)
+        self.pool = pool if pool is not None else WorkerPool()
+        self.metrics = metrics or Metrics()
+        self.request_timeout = request_timeout
+        self.use_cache = use_cache
+
+    def close(self) -> None:
+        self.pool.shutdown()
+
+    def __enter__(self) -> "LayoutService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- the staged pipeline ---------------------------------------------
+
+    def _run_pipeline(
+        self, request: LayoutRequest
+    ) -> Tuple[AssistantResult, List[StageTiming]]:
+        source = request.resolve_source()
+        config = request.resolve_config()
+        keys = StageKeys(source, config)
+        use_cache = self.use_cache and request.use_cache
+        timings: List[StageTiming] = []
+
+        def run_stage(name: str, key: str, compute):
+            start = perf_counter()
+            hit, value = (self.cache.load(name, key) if use_cache
+                          else (False, None))
+            if not hit:
+                value = compute()
+                if use_cache:
+                    self.cache.store(name, key, value)
+            seconds = perf_counter() - start
+            timings.append(
+                StageTiming(stage=name, seconds=seconds, cache_hit=hit)
+            )
+            self.metrics.observe_stage(name, seconds)
+            self.metrics.record_cache(name, hit)
+            return value
+
+        program, symbols = run_stage(
+            "frontend", keys.frontend, lambda: stage_frontend(source)
+        )
+        keys.bind_program(program)
+        partition, pcfg, template = run_stage(
+            "partition", keys.partition,
+            lambda: stage_partition(program, symbols, config),
+        )
+        alignment_spaces = run_stage(
+            "alignment", keys.alignment,
+            lambda: stage_alignment(
+                partition, pcfg, symbols, template, config
+            ),
+        )
+        layout_spaces = run_stage(
+            "distribution", keys.distribution,
+            lambda: stage_distribution(
+                partition, alignment_spaces, template, symbols, config
+            ),
+        )
+        estimates, db = run_stage(
+            "estimation", keys.estimation,
+            lambda: stage_estimation(
+                partition, layout_spaces, symbols, config,
+                job_runner=self.pool.run_jobs,
+            ),
+        )
+        graph, selection = run_stage(
+            "selection", keys.selection,
+            lambda: stage_selection(
+                partition, pcfg, estimates, symbols, db, config
+            ),
+        )
+        result = AssistantResult(
+            config=config,
+            program=program,
+            symbols=symbols,
+            partition=partition,
+            pcfg=pcfg,
+            template=template,
+            alignment_spaces=alignment_spaces,
+            layout_spaces=layout_spaces,
+            estimates=estimates,
+            graph=graph,
+            selection=selection,
+            db=db,
+        )
+        return result, timings
+
+    # -- request handling ------------------------------------------------
+
+    def analyze(self, request: LayoutRequest) -> LayoutResponse:
+        """Serve one analyze request (deadline-bounded, never raises)."""
+        self.metrics.inc("requests_total")
+        start = perf_counter()
+        try:
+            if self.request_timeout is not None:
+                executor = ThreadPoolExecutor(max_workers=1)
+                try:
+                    future = executor.submit(self._run_pipeline, request)
+                    result, timings = future.result(
+                        timeout=self.request_timeout
+                    )
+                finally:
+                    executor.shutdown(wait=False, cancel_futures=True)
+            else:
+                result, timings = self._run_pipeline(request)
+        except FuturesTimeoutError:
+            self.metrics.inc("requests_failed")
+            self.metrics.inc("requests_timeout")
+            return LayoutResponse.failure(
+                RequestTimeoutError(
+                    f"request exceeded {self.request_timeout}s"
+                ),
+                request_id=request.request_id,
+            )
+        except Exception as exc:
+            self.metrics.inc("requests_failed")
+            return LayoutResponse.failure(
+                exc, request_id=request.request_id
+            )
+        self.metrics.inc("requests_ok")
+        self.metrics.observe_stage("request", perf_counter() - start)
+        return LayoutResponse.from_result(
+            result, timings, request_id=request.request_id
+        )
+
+    def analyze_dict(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        try:
+            request = LayoutRequest.from_dict(payload)
+        except ServiceError as exc:
+            self.metrics.inc("requests_total")
+            self.metrics.inc("requests_failed")
+            return LayoutResponse.failure(
+                exc, request_id=payload.get("request_id")
+            ).to_dict()
+        return self.analyze(request).to_dict()
+
+    def stats(self) -> Dict[str, Any]:
+        snapshot = self.metrics.snapshot()
+        snapshot["pool"] = self.pool.describe()
+        snapshot["cache"]["disk_entries"] = self.cache.entry_count()
+        snapshot["cache"]["dir"] = self.cache.root
+        return snapshot
+
+    def handle(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Dispatch one decoded protocol message."""
+        op = payload.get("op", "analyze")
+        if op == "ping":
+            return {"ok": True, "op": "ping"}
+        if op == "stats":
+            return {"ok": True, "op": "stats", "stats": self.stats()}
+        if op == "shutdown":
+            return {"ok": True, "op": "shutdown"}
+        if op == "analyze":
+            return self.analyze_dict(payload)
+        self.metrics.inc("requests_failed")
+        return {"ok": False, "error": f"unknown op {op!r}",
+                "error_kind": "bad-request"}
+
+
+class _RequestHandler(socketserver.StreamRequestHandler):
+    """One JSON object per line in, one per line out; connections may
+    carry any number of requests."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised via TCP tests
+        for raw in self.rfile:
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                self._reply({"ok": False,
+                             "error": f"bad JSON: {exc}",
+                             "error_kind": "bad-request"})
+                continue
+            response = self.server.service.handle(payload)
+            self._reply(response)
+            if payload.get("op") == "shutdown":
+                threading.Thread(
+                    target=self.server.shutdown, daemon=True
+                ).start()
+                return
+
+    def _reply(self, payload: Dict[str, Any]) -> None:
+        self.wfile.write(json.dumps(payload).encode("utf-8") + b"\n")
+        self.wfile.flush()
+
+
+class LayoutServer(socketserver.ThreadingTCPServer):
+    """Threaded TCP front end; one shared :class:`LayoutService`."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], service: LayoutService):
+        super().__init__(address, _RequestHandler)
+        self.service = service
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def serve_background(self) -> threading.Thread:
+        """Start serving on a daemon thread (tests, smoke checks)."""
+        thread = threading.Thread(target=self.serve_forever, daemon=True)
+        thread.start()
+        return thread
+
+
+def send_request(
+    payload: Dict[str, Any],
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    timeout: float = 300.0,
+) -> Dict[str, Any]:
+    """Client side: one request, one decoded response."""
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(json.dumps(payload).encode("utf-8") + b"\n")
+        reader = sock.makefile("rb")
+        line = reader.readline()
+    if not line:
+        raise ServiceError("server closed the connection without a reply")
+    return json.loads(line)

@@ -9,12 +9,20 @@
 The result object keeps every intermediate structure browsable — the
 framework is designed for an interactive tool, so search spaces can be
 inspected and edited before re-running selection.
+
+The run is decomposed into six *stages* (frontend, partition, alignment,
+distribution, estimation, selection), each an independently callable,
+independently cacheable pure function of its inputs; ``run_assistant``
+is simply their composition.  The layout service (``repro.service``)
+times and caches each stage separately.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Set, Tuple
 
 from ..alignment.search_space import (
     AlignmentSearchSpaces,
@@ -37,9 +45,13 @@ from ..frontend import ast
 from ..frontend.inline import inline_program
 from ..frontend.parser import parse_source_file
 from ..frontend.symbols import SymbolTable, build_symbol_table
-from ..machine.params import IPSC860, MachineParams
+from ..machine.params import IPSC860, MACHINES, MachineParams
 from ..perf.compiler_model import FORTRAN_D_PROTOTYPE, CompilerOptions
-from ..perf.estimator import EstimationResult, estimate_search_spaces
+from ..perf.estimator import (
+    EstimationResult,
+    JobRunner,
+    estimate_search_spaces,
+)
 from ..perf.training import TrainingDatabase, cached_training_database
 from ..selection.ilp import SelectionResult, select_layouts
 from ..selection.layout_graph import DataLayoutGraph, build_layout_graph
@@ -59,6 +71,78 @@ class AssistantConfig:
     ilp_backend: str = "scipy"
     branch_probability: float = DEFAULT_BRANCH_PROBABILITY
     branch_prob_overrides: Optional[Dict[int, float]] = None
+
+    # -- serialization ---------------------------------------------------
+    #
+    # Configs must round-trip through plain dicts (JSON-safe) so the
+    # service protocol can carry them and the stage cache can key on
+    # them.  ``to_dict`` → ``from_dict`` is the round-trip; ``to_key``
+    # is a stable content hash of the canonical dict.
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable dict capturing every field."""
+        overrides = None
+        if self.branch_prob_overrides is not None:
+            overrides = {
+                str(k): float(v)
+                for k, v in sorted(self.branch_prob_overrides.items())
+            }
+        dist = asdict(self.distributions)
+        dist["block_cyclic_sizes"] = list(dist["block_cyclic_sizes"])
+        return {
+            "nprocs": self.nprocs,
+            "machine": asdict(self.machine),
+            "compiler": asdict(self.compiler),
+            "distributions": dist,
+            "ilp_backend": self.ilp_backend,
+            "branch_probability": self.branch_probability,
+            "branch_prob_overrides": overrides,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AssistantConfig":
+        """Rebuild a config from :meth:`to_dict` output (or a hand-written
+        dict; the machine may be given by registry name)."""
+        machine = data.get("machine", IPSC860)
+        if isinstance(machine, str):
+            machine = MACHINES[machine]
+        elif isinstance(machine, Mapping):
+            machine = MachineParams(**machine)
+        compiler = data.get("compiler", FORTRAN_D_PROTOTYPE)
+        if isinstance(compiler, Mapping):
+            compiler = CompilerOptions(**compiler)
+        dist = data.get("distributions")
+        if dist is None:
+            distributions = DistributionOptions.prototype()
+        elif isinstance(dist, Mapping):
+            dist = dict(dist)
+            dist["block_cyclic_sizes"] = tuple(
+                dist.get("block_cyclic_sizes", ())
+            )
+            distributions = DistributionOptions(**dist)
+        else:
+            distributions = dist
+        overrides = data.get("branch_prob_overrides")
+        if overrides is not None:
+            overrides = {int(k): float(v) for k, v in overrides.items()}
+        return cls(
+            nprocs=int(data["nprocs"]),
+            machine=machine,
+            compiler=compiler,
+            distributions=distributions,
+            ilp_backend=data.get("ilp_backend", "scipy"),
+            branch_probability=float(
+                data.get("branch_probability", DEFAULT_BRANCH_PROBABILITY)
+            ),
+            branch_prob_overrides=overrides,
+        )
+
+    def to_key(self) -> str:
+        """Stable content hash of the config (cache-key ingredient)."""
+        canonical = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 @dataclass
@@ -108,8 +192,19 @@ class AssistantResult:
         )
 
 
-def run_assistant(source: str, config: AssistantConfig) -> AssistantResult:
-    """Run the four framework steps on Fortran source text.
+# ---------------------------------------------------------------------------
+# The six stages.  Each is a pure function of its arguments; the service
+# caches each one under a content-derived key (see repro/service/cache.py).
+
+#: stage names, in pipeline order
+STAGES = (
+    "frontend", "partition", "alignment", "distribution", "estimation",
+    "selection",
+)
+
+
+def stage_frontend(source: str) -> Tuple[ast.Program, SymbolTable]:
+    """Parse and inline the source, build the symbol table.
 
     Multi-unit files (PROGRAM plus SUBROUTINEs) are inlined first — the
     framework itself is intra-procedural, like the paper's prototype, but
@@ -117,6 +212,13 @@ def run_assistant(source: str, config: AssistantConfig) -> AssistantResult:
     """
     program = inline_program(parse_source_file(source))
     symbols = build_symbol_table(program)
+    return program, symbols
+
+
+def stage_partition(
+    program: ast.Program, symbols: SymbolTable, config: AssistantConfig
+) -> Tuple[PhasePartition, PCFG, Template]:
+    """Phase partitioning, PCFG construction, template determination."""
     partition = partition_phases(
         program,
         symbols,
@@ -125,23 +227,93 @@ def run_assistant(source: str, config: AssistantConfig) -> AssistantResult:
     )
     pcfg = build_pcfg(partition)
     template = determine_template(symbols)
-    alignment_spaces = build_alignment_search_spaces(
+    return partition, pcfg, template
+
+
+def stage_alignment(
+    partition: PhasePartition,
+    pcfg: PCFG,
+    symbols: SymbolTable,
+    template: Template,
+    config: AssistantConfig,
+) -> AlignmentSearchSpaces:
+    """Per-phase alignment search spaces (intra-phase CAG optimization)."""
+    return build_alignment_search_spaces(
         partition.phases, pcfg, symbols, template,
         backend=config.ilp_backend,
     )
-    layout_spaces = build_layout_search_spaces(
+
+
+def stage_distribution(
+    partition: PhasePartition,
+    alignment_spaces: AlignmentSearchSpaces,
+    template: Template,
+    symbols: SymbolTable,
+    config: AssistantConfig,
+) -> LayoutSearchSpaces:
+    """Candidate data-layout search spaces (alignment x distribution)."""
+    return build_layout_search_spaces(
         partition.phases, alignment_spaces, template, symbols,
         nprocs=config.nprocs, options=config.distributions,
     )
+
+
+def stage_estimation(
+    partition: PhasePartition,
+    layout_spaces: LayoutSearchSpaces,
+    symbols: SymbolTable,
+    config: AssistantConfig,
+    job_runner: Optional[JobRunner] = None,
+) -> Tuple[EstimationResult, TrainingDatabase]:
+    """Price every candidate of every phase against the training sets."""
     db = cached_training_database(config.machine)
     estimates = estimate_search_spaces(
         partition.phases, layout_spaces, symbols, config.machine,
-        db=db, options=config.compiler,
+        db=db, options=config.compiler, job_runner=job_runner,
     )
+    return estimates, db
+
+
+def stage_selection(
+    partition: PhasePartition,
+    pcfg: PCFG,
+    estimates: EstimationResult,
+    symbols: SymbolTable,
+    db: TrainingDatabase,
+    config: AssistantConfig,
+) -> Tuple[DataLayoutGraph, SelectionResult]:
+    """Build the data layout graph and solve the 0-1 selection problem."""
     graph = build_layout_graph(
         partition.phases, pcfg, estimates, symbols, db, config.nprocs
     )
     selection = select_layouts(graph, backend=config.ilp_backend)
+    return graph, selection
+
+
+def run_assistant(
+    source: str,
+    config: AssistantConfig,
+    job_runner: Optional[JobRunner] = None,
+) -> AssistantResult:
+    """Run the four framework steps on Fortran source text.
+
+    ``job_runner`` (optional) parallelizes the estimation stage; results
+    are identical with or without it.
+    """
+    program, symbols = stage_frontend(source)
+    partition, pcfg, template = stage_partition(program, symbols, config)
+    alignment_spaces = stage_alignment(
+        partition, pcfg, symbols, template, config
+    )
+    layout_spaces = stage_distribution(
+        partition, alignment_spaces, template, symbols, config
+    )
+    estimates, db = stage_estimation(
+        partition, layout_spaces, symbols, config, job_runner=job_runner
+    )
+    graph, selection = stage_selection(
+        partition, pcfg, estimates, symbols, db, config
+    )
     return AssistantResult(
         config=config,
         program=program,

@@ -6,11 +6,15 @@ Usage examples::
     autolayout analyze --file mycode.f --procs 8 --show-spaces
     autolayout compare --program erlebacher --size 64 --procs 16
     autolayout summary --programs adi shallow --quick
+    autolayout serve --port 7861 --cache-dir ~/.autolayout-cache
+    autolayout request --program adi --size 256 --procs 16
+    autolayout service stats
 
 ``analyze`` runs the four framework steps and prints the selected layout;
 ``compare`` also measures every promising scheme on the simulated
 machine; ``summary`` reproduces the paper's aggregate statistics over the
-test-case grids.
+test-case grids; ``serve`` starts the long-lived layout service and
+``request`` / ``service`` talk to it over its JSON protocol.
 """
 
 from __future__ import annotations
@@ -126,6 +130,96 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from ..service import LayoutServer, LayoutService, WorkerPool
+
+    service = LayoutService(
+        cache_dir=args.cache_dir,
+        pool=WorkerPool(kind=args.pool, max_workers=args.workers,
+                        job_timeout=args.job_timeout,
+                        retries=args.retries),
+        request_timeout=args.request_timeout,
+        use_cache=not args.no_cache,
+    )
+    server = LayoutServer((args.host, args.port), service)
+    print(f"layout service listening on {args.host}:{server.port} "
+          f"(pool: {service.pool.active_kind}, "
+          f"cache: {args.cache_dir or 'memory-only'})", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        server.server_close()
+        service.close()
+    return 0
+
+
+def cmd_request(args: argparse.Namespace) -> int:
+    import json
+
+    from ..service import send_request
+    from .report import format_service_response
+
+    payload = {
+        "op": "analyze",
+        "procs": args.procs,
+        "maxiter": args.maxiter,
+        "machine": args.machine,
+        "backend": args.backend,
+        "use_cache": not args.no_cache,
+    }
+    if args.file:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            payload["source"] = handle.read()
+    else:
+        payload["program"] = args.program
+    if args.size is not None:
+        payload["size"] = args.size
+    if args.dtype is not None:
+        payload["dtype"] = args.dtype
+    try:
+        resp = send_request(payload, host=args.host, port=args.port,
+                            timeout=args.timeout)
+    except OSError as exc:
+        print(f"cannot reach layout service at {args.host}:{args.port} "
+              f"({exc}); start one with: autolayout serve",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(resp, indent=2, sort_keys=True))
+    else:
+        print(format_service_response(resp))
+    return 0 if resp.get("ok") else 1
+
+
+def cmd_service(args: argparse.Namespace) -> int:
+    import json
+
+    from ..service import send_request
+    from .report import format_service_stats
+
+    try:
+        resp = send_request({"op": args.action}, host=args.host,
+                            port=args.port, timeout=args.timeout)
+    except OSError as exc:
+        print(f"cannot reach layout service at {args.host}:{args.port} "
+              f"({exc}); start one with: autolayout serve",
+              file=sys.stderr)
+        return 1
+    if not resp.get("ok"):
+        print(f"service {args.action} failed: {resp.get('error')}")
+        return 1
+    if args.action == "stats":
+        if args.json:
+            print(json.dumps(resp["stats"], indent=2, sort_keys=True))
+        else:
+            print(format_service_stats(resp["stats"]))
+    else:
+        print(json.dumps(resp))
+    return 0
+
+
 def cmd_summary(args: argparse.Namespace) -> int:
     programs = args.programs or sorted(PROGRAMS)
     results = []
@@ -172,6 +266,56 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_common(p_hpf)
     p_hpf.add_argument("--output", "-o", help="write to a file")
     p_hpf.set_defaults(func=cmd_hpf)
+
+    from ..service.server import DEFAULT_HOST, DEFAULT_PORT
+
+    def _add_endpoint(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--host", default=DEFAULT_HOST)
+        parser.add_argument("--port", type=int, default=DEFAULT_PORT)
+        parser.add_argument("--timeout", type=float, default=300.0,
+                            help="client-side socket timeout (s)")
+
+    p_serve = sub.add_parser(
+        "serve", help="start the long-lived layout-analysis service"
+    )
+    p_serve.add_argument("--host", default=DEFAULT_HOST)
+    p_serve.add_argument("--port", type=int, default=DEFAULT_PORT)
+    p_serve.add_argument("--cache-dir",
+                         help="persist the stage cache here "
+                              "(omit for memory-only)")
+    p_serve.add_argument("--pool", choices=["process", "thread", "serial"],
+                         default="process", help="worker pool kind")
+    p_serve.add_argument("--workers", type=int,
+                         help="worker count (default: cpu count)")
+    p_serve.add_argument("--job-timeout", type=float,
+                         help="per-estimation-job timeout (s)")
+    p_serve.add_argument("--retries", type=int, default=1,
+                         help="retries for transient worker failures")
+    p_serve.add_argument("--request-timeout", type=float,
+                         help="per-request deadline (s)")
+    p_serve.add_argument("--no-cache", action="store_true",
+                         help="disable the stage cache")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_request = sub.add_parser(
+        "request", help="send one analyze request to a running service"
+    )
+    _add_common(p_request)
+    _add_endpoint(p_request)
+    p_request.add_argument("--json", action="store_true",
+                           help="print the raw JSON response")
+    p_request.add_argument("--no-cache", action="store_true",
+                           help="ask the service to bypass its cache")
+    p_request.set_defaults(func=cmd_request)
+
+    p_service = sub.add_parser(
+        "service", help="query or control a running service"
+    )
+    p_service.add_argument("action", choices=["stats", "ping", "shutdown"])
+    _add_endpoint(p_service)
+    p_service.add_argument("--json", action="store_true",
+                           help="print the raw JSON stats")
+    p_service.set_defaults(func=cmd_service)
 
     p_summary = sub.add_parser(
         "summary", help="run test-case grids and print the summary table"

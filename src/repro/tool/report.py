@@ -135,3 +135,77 @@ def format_summary(rows: List[SummaryRow]) -> str:
         f"{'TOTAL':<12} {total_cases:>5} {total_optimal:>8} {worst:>10.1f}%"
     )
     return "\n".join(lines)
+
+
+def format_service_response(resp: dict) -> str:
+    """Render an analyze response received over the service protocol."""
+    if not resp.get("ok"):
+        kind = resp.get("error_kind", "internal")
+        return f"request failed [{kind}]: {resp.get('error')}"
+    lines = [
+        f"predicted execution time: "
+        f"{resp['predicted_total_us'] / 1e6:.4f} s",
+        f"layout is "
+        f"{'DYNAMIC (remapping)' if resp['is_dynamic'] else 'static'}",
+        f"cache: {resp['cache_hits']} stage hits, "
+        f"{resp['cache_misses']} misses",
+    ]
+    for timing in resp.get("stage_timings", []):
+        mark = "hit " if timing["cache_hit"] else "miss"
+        lines.append(
+            f"  {timing['stage']:<13s} {mark} "
+            f"{timing['seconds'] * 1000.0:9.2f} ms"
+        )
+    layouts = resp.get("layouts", {})
+    if layouts:
+        first = layouts[min(layouts, key=int)]
+        lines.append(first["hpf"])
+        distinct = {
+            (layout["distribution"], tuple(sorted(layout["alignments"].items())))
+            for layout in layouts.values()
+        }
+        if len(distinct) > 1:
+            lines.append(
+                f"({len(distinct)} distinct per-phase layouts; "
+                f"phase 0 shown)"
+            )
+    return "\n".join(lines)
+
+
+def format_service_stats(stats: dict) -> str:
+    """Render a ``service stats`` snapshot."""
+    counters = stats.get("counters", {})
+    cache = stats.get("cache", {})
+    pool = stats.get("pool", {})
+    lines = [
+        f"uptime: {stats.get('uptime_seconds', 0.0):.1f} s",
+        f"requests: {counters.get('requests_total', 0)} total, "
+        f"{counters.get('requests_ok', 0)} ok, "
+        f"{counters.get('requests_failed', 0)} failed, "
+        f"{counters.get('requests_timeout', 0)} timed out",
+        f"cache: {cache.get('hits', 0)} hits, "
+        f"{cache.get('misses', 0)} misses "
+        f"(dir: {cache.get('dir') or 'memory-only'})",
+    ]
+    for stage, slot in sorted(cache.get("per_stage", {}).items()):
+        lines.append(
+            f"  {stage:<13s} {slot['hits']:>6} hits {slot['misses']:>6} misses"
+        )
+    lines.append(
+        f"pool: {pool.get('active_kind', '?')} "
+        f"(requested {pool.get('requested_kind', '?')}, "
+        f"{pool.get('degradations', 0)} degradations)"
+    )
+    stage_seconds = stats.get("stage_seconds", {})
+    if stage_seconds:
+        lines.append(
+            f"{'stage timings':<13s} {'count':>6} {'mean':>10} {'max':>10}"
+        )
+        for stage, hist in sorted(stage_seconds.items()):
+            mean_ms = hist["mean"] * 1000.0
+            max_ms = (hist["max"] or 0.0) * 1000.0
+            lines.append(
+                f"  {stage:<13s} {hist['count']:>4} "
+                f"{mean_ms:>8.2f}ms {max_ms:>8.2f}ms"
+            )
+    return "\n".join(lines)

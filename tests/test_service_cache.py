@@ -1,0 +1,183 @@
+"""Stage-cache correctness: identical answers, the specified hit/miss
+pattern under config edits, and graceful recovery from corruption."""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import pytest
+
+from repro.machine.params import IPSC860, MACHINES, MachineParams
+from repro.perf.training import cached_training_database, machine_cache_key
+from repro.service import LayoutService, WorkerPool
+from repro.tool.assistant import AssistantConfig
+
+REQUEST = {
+    "op": "analyze",
+    "program": "adi",
+    "size": 32,
+    "maxiter": 2,
+    "procs": 4,
+}
+
+
+@pytest.fixture()
+def service(tmp_path):
+    with LayoutService(cache_dir=str(tmp_path / "cache"),
+                       pool=WorkerPool(kind="serial")) as svc:
+        yield svc
+
+
+def _stage_hits(resp: dict) -> dict:
+    return {t["stage"]: t["cache_hit"] for t in resp["stage_timings"]}
+
+
+class TestCacheCorrectness:
+    def test_same_request_twice_identical_with_hit(self, service):
+        first = service.analyze_dict(dict(REQUEST))
+        second = service.analyze_dict(dict(REQUEST))
+        assert first["ok"] and second["ok"]
+        assert first["cache_hits"] == 0
+        assert second["cache_hits"] == len(second["stage_timings"])
+        assert second["cache_misses"] == 0
+        # byte-identical selection
+        assert second["layouts"] == first["layouts"]
+        assert second["predicted_total_us"] == first["predicted_total_us"]
+        assert second["is_dynamic"] == first["is_dynamic"]
+        hits, misses = service.metrics.cache_totals()
+        assert hits >= 1 and misses >= 1
+
+    def test_cache_survives_service_restart(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        with LayoutService(cache_dir=cache_dir,
+                           pool=WorkerPool(kind="serial")) as svc:
+            first = svc.analyze_dict(dict(REQUEST))
+        with LayoutService(cache_dir=cache_dir,
+                           pool=WorkerPool(kind="serial")) as svc:
+            second = svc.analyze_dict(dict(REQUEST))
+        assert second["cache_hits"] == len(second["stage_timings"])
+        assert second["layouts"] == first["layouts"]
+
+    def test_changed_nprocs_hits_upstream_stages(self, service):
+        service.analyze_dict(dict(REQUEST))
+        resp = service.analyze_dict(dict(REQUEST, procs=8))
+        hits = _stage_hits(resp)
+        assert hits["frontend"] and hits["partition"] and hits["alignment"]
+        assert not hits["distribution"]
+        assert not hits["estimation"]
+        assert not hits["selection"]
+
+    def test_changed_machine_misses_only_estimation_down(self, service):
+        service.analyze_dict(dict(REQUEST))
+        resp = service.analyze_dict(dict(REQUEST, machine="paragon"))
+        hits = _stage_hits(resp)
+        assert hits["frontend"] and hits["partition"]
+        assert hits["alignment"] and hits["distribution"]
+        assert not hits["estimation"]
+        assert not hits["selection"]
+
+    def test_whitespace_edit_hits_downstream_stages(self, service):
+        from repro.programs.registry import PROGRAMS
+
+        source = PROGRAMS["adi"].source(n=32, maxiter=2)
+        base = {"op": "analyze", "source": source, "procs": 4}
+        service.analyze_dict(dict(base))
+        edited = source.replace("\n", "\n\n", 1)  # comment-free reformat
+        resp = service.analyze_dict(dict(base, source=edited))
+        hits = _stage_hits(resp)
+        # the raw-text frontend key misses, but the normalized-AST chain
+        # makes every later stage hit
+        assert not hits["frontend"]
+        assert all(hits[s] for s in
+                   ("partition", "alignment", "distribution",
+                    "estimation", "selection"))
+
+    def test_corrupted_cache_file_recomputes(self, service, tmp_path):
+        first = service.analyze_dict(dict(REQUEST))
+        root = service.cache.root
+        corrupted = 0
+        for stage in os.listdir(root):
+            stage_dir = os.path.join(root, stage)
+            for name in os.listdir(stage_dir):
+                with open(os.path.join(stage_dir, name), "wb") as handle:
+                    handle.write(b"\x00garbage, not a pickle")
+                corrupted += 1
+        assert corrupted >= 6
+        service.cache.clear_memory()
+        resp = service.analyze_dict(dict(REQUEST))
+        assert resp["ok"]
+        assert resp["cache_hits"] == 0  # every entry was damaged
+        assert resp["layouts"] == first["layouts"]
+
+    def test_no_cache_request_never_hits(self, service):
+        service.analyze_dict(dict(REQUEST))
+        resp = service.analyze_dict(dict(REQUEST, use_cache=False))
+        assert resp["ok"]
+        assert resp["cache_hits"] == 0
+
+
+class TestConfigRoundTrip:
+    def test_to_dict_from_dict_round_trip(self):
+        config = AssistantConfig(
+            nprocs=16,
+            machine=MACHINES["paragon"],
+            ilp_backend="branch-bound",
+            branch_probability=0.25,
+            branch_prob_overrides={3: 0.75},
+        )
+        rebuilt = AssistantConfig.from_dict(config.to_dict())
+        assert rebuilt == config
+        assert rebuilt.to_key() == config.to_key()
+        # overrides keys survive the str round-trip as ints
+        assert rebuilt.branch_prob_overrides == {3: 0.75}
+
+    def test_machine_by_registry_name(self):
+        config = AssistantConfig.from_dict(
+            {"nprocs": 8, "machine": "paragon"}
+        )
+        assert config.machine == MACHINES["paragon"]
+
+    def test_key_is_sensitive_to_fields(self):
+        base = AssistantConfig(nprocs=16)
+        assert base.to_key() == AssistantConfig(nprocs=16).to_key()
+        assert base.to_key() != AssistantConfig(nprocs=8).to_key()
+        assert base.to_key() != AssistantConfig(
+            nprocs=16, machine=MACHINES["paragon"]
+        ).to_key()
+
+    def test_to_dict_is_json_serializable(self):
+        import json
+
+        text = json.dumps(AssistantConfig(nprocs=4).to_dict(),
+                          sort_keys=True)
+        assert AssistantConfig.from_dict(json.loads(text)) == \
+            AssistantConfig(nprocs=4)
+
+
+class TestTrainingDatabaseCache:
+    def test_key_derives_from_params_not_name(self):
+        tweaked = MachineParams(name=IPSC860.name, alpha_short=999.0)
+        assert machine_cache_key(tweaked) != machine_cache_key(IPSC860)
+        db_a = cached_training_database(IPSC860, proc_counts=(2,))
+        db_b = cached_training_database(tweaked, proc_counts=(2,))
+        assert db_a is not db_b
+
+    def test_concurrent_access_converges_on_one_instance(self):
+        params = MachineParams(name="concurrency-probe", alpha_short=80.0)
+        results = []
+        barrier = threading.Barrier(4)
+
+        def worker():
+            barrier.wait()
+            results.append(
+                cached_training_database(params, proc_counts=(2, 4))
+            )
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(results) == 4
+        assert all(db is results[0] for db in results)

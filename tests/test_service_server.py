@@ -1,0 +1,176 @@
+"""The TCP server end to end: protocol ops, cache-hit behavior over the
+wire, parity with a direct ``analyze`` run, stats, and the CLI client."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service import (
+    LayoutServer,
+    LayoutService,
+    WorkerPool,
+    send_request,
+)
+from repro.service.protocol import LayoutRequest, serialize_layout
+from repro.tool.assistant import AssistantConfig, run_assistant
+from repro.tool.cli import main
+
+REQUEST = {
+    "op": "analyze",
+    "program": "adi",
+    "size": 32,
+    "maxiter": 2,
+    "procs": 4,
+}
+
+
+@pytest.fixture(scope="module")
+def endpoint(tmp_path_factory):
+    cache_dir = str(tmp_path_factory.mktemp("service-cache"))
+    service = LayoutService(cache_dir=cache_dir,
+                            pool=WorkerPool(kind="thread", max_workers=4))
+    server = LayoutServer(("127.0.0.1", 0), service)
+    server.serve_background()
+    yield "127.0.0.1", server.port
+    server.shutdown()
+    server.server_close()
+    service.close()
+
+
+class TestProtocolOps:
+    def test_ping(self, endpoint):
+        host, port = endpoint
+        assert send_request({"op": "ping"}, host, port) == \
+            {"ok": True, "op": "ping"}
+
+    def test_unknown_op(self, endpoint):
+        host, port = endpoint
+        resp = send_request({"op": "frobnicate"}, host, port)
+        assert not resp["ok"]
+        assert resp["error_kind"] == "bad-request"
+
+    def test_validation_error(self, endpoint):
+        host, port = endpoint
+        resp = send_request(
+            {"op": "analyze", "program": "no-such-program", "procs": 4},
+            host, port,
+        )
+        assert not resp["ok"]
+        assert resp["error_kind"] == "bad-request"
+        assert "no-such-program" in resp["error"]
+
+    def test_bad_json_line(self, endpoint):
+        import socket
+
+        host, port = endpoint
+        with socket.create_connection((host, port), timeout=30) as sock:
+            sock.sendall(b"this is not json\n")
+            line = sock.makefile("rb").readline()
+        resp = json.loads(line)
+        assert not resp["ok"]
+        assert resp["error_kind"] == "bad-request"
+
+
+class TestAnalyzeOverTcp:
+    def test_second_request_hits_and_matches_direct_run(self, endpoint):
+        host, port = endpoint
+        first = send_request(dict(REQUEST), host, port)
+        second = send_request(dict(REQUEST), host, port)
+        assert first["ok"] and second["ok"]
+        assert second["cache_hits"] == len(second["stage_timings"])
+        assert second["layouts"] == first["layouts"]
+
+        # parity with a cold, direct, serial analyze run
+        request = LayoutRequest.from_dict(dict(REQUEST))
+        direct = run_assistant(
+            request.resolve_source(), AssistantConfig(nprocs=4)
+        )
+        expected = {
+            str(idx): serialize_layout(layout)
+            for idx, layout in sorted(direct.selected_layouts.items())
+        }
+        assert first["layouts"] == expected
+        assert first["predicted_total_us"] == direct.predicted_total_us
+
+    def test_stats_reports_hits_misses_and_timings(self, endpoint):
+        host, port = endpoint
+        send_request(dict(REQUEST), host, port)
+        resp = send_request({"op": "stats"}, host, port)
+        assert resp["ok"]
+        stats = resp["stats"]
+        assert stats["cache"]["hits"] >= 1
+        assert stats["cache"]["misses"] >= 1
+        assert stats["counters"]["requests_total"] >= 2
+        for stage in ("frontend", "partition", "alignment",
+                      "distribution", "estimation", "selection"):
+            hist = stats["stage_seconds"][stage]
+            assert hist["count"] >= 1
+            assert hist["sum"] > 0.0
+        assert stats["pool"]["active_kind"] == "thread"
+        assert stats["cache"]["disk_entries"]
+
+    def test_request_id_echoed(self, endpoint):
+        host, port = endpoint
+        resp = send_request(dict(REQUEST, request_id="req-42"), host, port)
+        assert resp["ok"]
+        assert resp["request_id"] == "req-42"
+
+
+class TestCliClient:
+    def test_request_command(self, endpoint, capsys):
+        host, port = endpoint
+        rc = main(["request", "--program", "adi", "--size", "32",
+                   "--maxiter", "2", "--procs", "4",
+                   "--host", host, "--port", str(port)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "predicted execution time" in out
+        assert "TEMPLATE" in out
+
+    def test_request_json_output(self, endpoint, capsys):
+        host, port = endpoint
+        rc = main(["request", "--program", "adi", "--size", "32",
+                   "--maxiter", "2", "--procs", "4", "--json",
+                   "--host", host, "--port", str(port)])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"]
+        assert payload["layouts"]
+
+    def test_service_stats_command(self, endpoint, capsys):
+        host, port = endpoint
+        rc = main(["service", "stats",
+                   "--host", host, "--port", str(port)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "requests:" in out
+        assert "cache:" in out
+        assert "stage timings" in out
+
+
+class TestRequestDeadline:
+    def test_request_timeout_returns_error_response(self, tmp_path):
+        service = LayoutService(
+            cache_dir=str(tmp_path / "cache"),
+            pool=WorkerPool(kind="serial"),
+            request_timeout=1e-6,
+        )
+        try:
+            resp = service.analyze_dict(dict(REQUEST))
+        finally:
+            service.close()
+        assert not resp["ok"]
+        assert resp["error_kind"] == "timeout"
+
+    def test_shutdown_op(self, tmp_path):
+        service = LayoutService(pool=WorkerPool(kind="serial"))
+        server = LayoutServer(("127.0.0.1", 0), service)
+        thread = server.serve_background()
+        resp = send_request({"op": "shutdown"}, "127.0.0.1", server.port)
+        assert resp == {"ok": True, "op": "shutdown"}
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        server.server_close()
+        service.close()
