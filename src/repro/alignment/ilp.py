@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..ilp import MAXIMIZE, Solution, ZeroOneModel, solve as ilp_solve
+from ..obs.tracing import add_event as obs_event, span as obs_span
 from .cag import CAG, Node
 from .lattice import Partitioning
 
@@ -165,25 +166,37 @@ def resolve_conflicts(
     Returns the conflict-free CAG obtained by removing the minimum-weight
     set of partition-crossing edges, as chosen by the 0-1 solver.
     """
-    ilp = build_alignment_model(cag, d, name=name)
-    solution = ilp_solve(ilp.model, backend=backend)
-    if not solution.is_optimal:
-        raise RuntimeError(
-            f"alignment ILP unexpectedly {solution.status} for {name!r}"
-        )
-    assignment: Dict[Node, int] = {}
-    for node in cag.nodes:
-        for k in range(d):
-            if solution.values.get(_node_var(node, k)) == 1:
-                assignment[node] = k
-                break
-    cut_keys = []
-    cut_weight = 0.0
-    for (a, b), weight in cag.weights.items():
-        if assignment[a] != assignment[b]:
-            cut_keys.append((a, b))
-            cut_weight += weight
-    resolved = cag.drop_edges(cut_keys)
+    with obs_span("alignment.resolve", name=name, template_rank=d) as sp:
+        ilp = build_alignment_model(cag, d, name=name)
+        sp.set_attr("variables", ilp.num_variables)
+        sp.set_attr("constraints", ilp.num_constraints)
+        solution = ilp_solve(ilp.model, backend=backend)
+        if not solution.is_optimal:
+            raise RuntimeError(
+                f"alignment ILP unexpectedly {solution.status} for {name!r}"
+            )
+        assignment: Dict[Node, int] = {}
+        for node in cag.nodes:
+            for k in range(d):
+                if solution.values.get(_node_var(node, k)) == 1:
+                    assignment[node] = k
+                    break
+        cut_keys = []
+        cut_weight = 0.0
+        for (a, b), weight in cag.weights.items():
+            if assignment[a] != assignment[b]:
+                cut_keys.append((a, b))
+                cut_weight += weight
+        if cut_keys:
+            obs_event(
+                "alignment.cut",
+                name=name,
+                cut_edges=sorted(
+                    f"{a[0]}[{a[1]}]--{b[0]}[{b[1]}]" for a, b in cut_keys
+                ),
+                cut_weight=cut_weight,
+            )
+        resolved = cag.drop_edges(cut_keys)
     if resolved.has_conflict():  # pragma: no cover - guarded by type2
         raise AssertionError("ILP resolution left a conflict")
     return AlignmentResolution(

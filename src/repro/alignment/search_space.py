@@ -30,6 +30,7 @@ from ..analysis.phases import Phase
 from ..distribution.layouts import Alignment
 from ..distribution.template import Template
 from ..frontend.symbols import ArraySymbol, SymbolTable
+from ..obs.tracing import add_event as obs_event, span as obs_span
 from .cag import CAG
 from .ilp import AlignmentResolution, resolve_conflicts
 from .lattice import Partitioning
@@ -115,6 +116,7 @@ def build_alignment_search_spaces(
     for phase in phases:
         cag = build_phase_cag(phase, symbols)
         if cag.has_conflict():
+            obs_event("cag.conflict", where=f"phase{phase.index}")
             resolution = resolve_conflicts(
                 cag, d, backend=backend, name=f"phase{phase.index}"
             )
@@ -145,27 +147,42 @@ def build_alignment_search_spaces(
         classes.append(current)
 
     # Step 3/4 — exchange alignment information via imports.
-    for sink in classes:
-        own = Partitioning.from_cag(sink.cag)
-        sink.candidates = [own]
-        for source in classes:
-            if source is sink:
-                continue
-            scaled = source.cag.scaled(dominance_factor(sink.cag))
-            merged = CAG.merge(scaled, sink.cag)
-            if merged.has_conflict():
-                resolution = resolve_conflicts(
-                    merged, d, backend=backend,
-                    name=f"import:{source.name}->{sink.name}",
+    with obs_span("alignment.imports", classes=len(classes)):
+        for sink in classes:
+            own = Partitioning.from_cag(sink.cag)
+            sink.candidates = [own]
+            for source in classes:
+                if source is sink:
+                    continue
+                scaled = source.cag.scaled(dominance_factor(sink.cag))
+                merged = CAG.merge(scaled, sink.cag)
+                if merged.has_conflict():
+                    obs_event(
+                        "cag.conflict",
+                        where=f"import:{source.name}->{sink.name}",
+                    )
+                    resolution = resolve_conflicts(
+                        merged, d, backend=backend,
+                        name=f"import:{source.name}->{sink.name}",
+                    )
+                    resolutions.append(resolution)
+                    merged = resolution.resolved
+                imported = Partitioning.from_cag(
+                    merged.restricted(sink.cag.arrays)
+                ).extended(sink.cag.nodes)
+                # Insert only if not weaker-or-equal to existing
+                # information.
+                accepted = not any(
+                    imported.refines(c) for c in sink.candidates
                 )
-                resolutions.append(resolution)
-                merged = resolution.resolved
-            imported = Partitioning.from_cag(
-                merged.restricted(sink.cag.arrays)
-            ).extended(sink.cag.nodes)
-            # Insert only if not weaker-or-equal to existing information.
-            if not any(imported.refines(c) for c in sink.candidates):
-                sink.candidates.append(imported)
+                obs_event(
+                    "alignment.import",
+                    source=source.name,
+                    sink=sink.name,
+                    accepted=accepted,
+                )
+                if accepted:
+                    sink.candidates.append(imported)
 
     # Step 5 — project class candidates onto individual phases.
     per_phase: Dict[int, List[AlignmentCandidate]] = {}

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 from ..analysis.phases import Phase
 from ..analysis.references import ArrayAccess
 from ..frontend.symbols import ArraySymbol, SymbolTable
+from ..obs import tracing
 from .cag import CAG
 
 
@@ -53,6 +54,25 @@ def build_phase_cag(phase: Phase, symbols: SymbolTable) -> CAG:
     has no alignment preference (isolated nodes default to canonical
     orientation later).
     """
+    if not tracing.active():
+        return _build_phase_cag(phase, symbols)
+    with tracing.span("cag.build", phase=phase.index) as sp:
+        cag = _build_phase_cag(phase, symbols)
+        sp.set_attr("nodes", len(cag.nodes))
+        sp.set_attr("edges", len(cag.weights))
+        sp.set_attr("total_weight", cag.total_weight())
+        for (a, b), weight in sorted(cag.weights.items()):
+            tracing.add_event(
+                "cag.edge",
+                phase=phase.index,
+                src=f"{a[0]}[{a[1]}]",
+                dst=f"{b[0]}[{b[1]}]",
+                weight=weight,
+            )
+    return cag
+
+
+def _build_phase_cag(phase: Phase, symbols: SymbolTable) -> CAG:
     cag = CAG()
     for array in phase.arrays:
         symbol = symbols.get(array)

@@ -25,6 +25,7 @@ if TYPE_CHECKING:  # avoid the alignment <-> distribution import cycle
     )
 from ..analysis.phases import Phase
 from ..frontend.symbols import ArraySymbol, SymbolTable
+from ..obs.tracing import span as obs_span
 from .layouts import (
     BLOCK,
     BLOCK_CYCLIC,
@@ -160,41 +161,55 @@ def build_layout_search_spaces(
     """Cross alignment candidates with distribution candidates, dropping
     behaviourally identical layouts."""
     options = options or DistributionOptions.prototype()
-    distributions = enumerate_distributions(template, nprocs, options)
-    per_phase: Dict[int, List[CandidateLayout]] = {}
-    for phase in phases:
-        phase_arrays = [
-            a
-            for a in phase.arrays
-            if isinstance(symbols.get(a), ArraySymbol)
-        ]
-        seen = set()
-        candidates: List[CandidateLayout] = []
-        for alignment in alignment_spaces.candidates_for(phase.index):
-            align_map = {
-                a: alignment.alignment_map[a]
-                for a in phase_arrays
-                if a in alignment.alignment_map
-            }
-            for dist in distributions:
-                layout = DataLayout.build(
-                    template=template,
-                    alignments=align_map,
-                    distribution=dist,
-                )
-                signature = layout.signature()
-                if signature in seen:
-                    continue
-                seen.add(signature)
-                candidates.append(
-                    CandidateLayout(
-                        phase_index=phase.index,
-                        position=len(candidates),
-                        alignment=alignment,
-                        layout=layout,
-                    )
-                )
-        per_phase[phase.index] = candidates
+    with obs_span(
+        "distribution.enumerate", nprocs=nprocs, phases=len(phases)
+    ) as enum_span:
+        distributions = enumerate_distributions(template, nprocs, options)
+        enum_span.set_attr("distributions", len(distributions))
+        per_phase: Dict[int, List[CandidateLayout]] = {}
+        for phase in phases:
+            with obs_span(
+                "distribution.phase", phase=phase.index
+            ) as phase_span:
+                phase_arrays = [
+                    a
+                    for a in phase.arrays
+                    if isinstance(symbols.get(a), ArraySymbol)
+                ]
+                seen = set()
+                generated = 0
+                candidates: List[CandidateLayout] = []
+                for alignment in alignment_spaces.candidates_for(
+                    phase.index
+                ):
+                    align_map = {
+                        a: alignment.alignment_map[a]
+                        for a in phase_arrays
+                        if a in alignment.alignment_map
+                    }
+                    for dist in distributions:
+                        layout = DataLayout.build(
+                            template=template,
+                            alignments=align_map,
+                            distribution=dist,
+                        )
+                        generated += 1
+                        signature = layout.signature()
+                        if signature in seen:
+                            continue
+                        seen.add(signature)
+                        candidates.append(
+                            CandidateLayout(
+                                phase_index=phase.index,
+                                position=len(candidates),
+                                alignment=alignment,
+                                layout=layout,
+                            )
+                        )
+                phase_span.set_attr("generated", generated)
+                phase_span.set_attr("pruned", generated - len(candidates))
+                phase_span.set_attr("kept", len(candidates))
+            per_phase[phase.index] = candidates
     return LayoutSearchSpaces(
         per_phase=per_phase,
         distributions=distributions,

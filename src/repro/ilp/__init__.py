@@ -2,6 +2,7 @@
 
 from typing import Optional
 
+from ..obs.tracing import span as _obs_span
 from . import branch_bound, scipy_backend
 from .model import (
     MAXIMIZE,
@@ -34,7 +35,18 @@ def solve(
         raise ModelError(
             f"unknown backend {backend!r}; available: {sorted(BACKENDS)}"
         ) from None
-    return fn(model, time_limit=time_limit)
+    with _obs_span(
+        "ilp.solve",
+        name=model.name,
+        backend=backend,
+        variables=model.num_variables,
+        constraints=model.num_constraints,
+    ) as sp:
+        solution = fn(model, time_limit=time_limit)
+        sp.set_attr("status", solution.status)
+        sp.set_attr("objective", solution.objective)
+        sp.set_attr("nodes", solution.stats.nodes)
+    return solution
 
 
 __all__ = [

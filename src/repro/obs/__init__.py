@@ -1,0 +1,81 @@
+"""``repro.obs`` — pipeline-wide observability.
+
+The instrumentation base for the production-service north star: every
+framework step (parse, partition, CAG build, conflict resolution, each
+ILP solve, distribution enumeration, estimation, selection) reports
+hierarchical wall-time spans and structured decision events into one
+trace, propagated through the service worker pool in all three pool
+kinds.  On top of the span stream:
+
+- :mod:`tracing`    — spans, trace IDs, context propagation, the
+  worker-pool job wrapper;
+- :mod:`events`     — the JSON trace format and its schema validator;
+- :mod:`chrome`     — Chrome trace-event (``chrome://tracing``) export;
+- :mod:`provenance` — the ``repro explain`` decision-provenance report;
+- :mod:`prometheus` — Prometheus text exposition of the service
+  metrics registry (counters, cache, histograms with quantiles, pool
+  health, span aggregates);
+- :mod:`log`        — the ``repro`` logger hierarchy behind
+  ``--log-level``.
+
+With no active tracer every hook is a no-op and pipeline results are
+bitwise-identical to uninstrumented runs.
+"""
+
+from .chrome import to_chrome_trace, validate_chrome_trace, write_chrome_trace
+from .events import (
+    TraceValidationError,
+    iter_events,
+    load_trace,
+    spans_by_name,
+    validate_trace,
+    write_trace,
+)
+from .log import LOG_LEVELS, configure_logging, get_logger
+from .prometheus import parse_prometheus_text, render_prometheus
+from .provenance import build_provenance, format_provenance
+from .tracing import (
+    TRACE_SCHEMA,
+    SpanRecord,
+    Tracer,
+    activate,
+    active,
+    active_tracer,
+    add_event,
+    current_span_id,
+    finish_trace,
+    run_traced_job,
+    span,
+    start_trace,
+)
+
+__all__ = [
+    "LOG_LEVELS",
+    "SpanRecord",
+    "TRACE_SCHEMA",
+    "TraceValidationError",
+    "Tracer",
+    "activate",
+    "active",
+    "active_tracer",
+    "add_event",
+    "build_provenance",
+    "configure_logging",
+    "current_span_id",
+    "finish_trace",
+    "format_provenance",
+    "get_logger",
+    "iter_events",
+    "load_trace",
+    "parse_prometheus_text",
+    "render_prometheus",
+    "run_traced_job",
+    "span",
+    "spans_by_name",
+    "start_trace",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "validate_trace",
+    "write_chrome_trace",
+    "write_trace",
+]

@@ -1,0 +1,53 @@
+"""Logging for server and CLI status output.
+
+Everything user-facing that is *status* (not a computed result) goes
+through the ``repro`` logger hierarchy instead of bare ``print``, so a
+``--log-level`` flag controls verbosity and service operators get
+timestamped, levelled lines on stderr.  Computed results (reports,
+JSON responses, Prometheus text) stay on stdout via ``print``.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, TextIO
+
+#: accepted --log-level values
+LOG_LEVELS = ("debug", "info", "warning", "error")
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s %(message)s"
+
+
+def get_logger(name: str = "repro") -> logging.Logger:
+    """The named logger under the ``repro`` hierarchy."""
+    if name != "repro" and not name.startswith("repro."):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def configure_logging(
+    level: str = "info", stream: Optional[TextIO] = None
+) -> logging.Logger:
+    """Install one stderr handler on the ``repro`` root logger.
+
+    Idempotent: repeated calls adjust the level instead of stacking
+    handlers (the CLI may be invoked many times in one process, e.g.
+    from tests).
+    """
+    if level not in LOG_LEVELS:
+        raise ValueError(
+            f"log level must be one of {LOG_LEVELS}, got {level!r}"
+        )
+    root = logging.getLogger("repro")
+    root.setLevel(getattr(logging, level.upper()))
+    root.propagate = False
+    if not root.handlers:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        root.addHandler(handler)
+    elif stream is not None:
+        for handler in root.handlers:
+            if isinstance(handler, logging.StreamHandler):
+                handler.setStream(stream)
+    return root

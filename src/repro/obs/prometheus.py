@@ -1,0 +1,245 @@
+"""Prometheus text exposition of the service observability snapshot.
+
+:func:`render_prometheus` folds everything the service knows — request
+counters, per-stage cache hit/miss counts, stage and span wall-time
+histograms (with bucket-derived p50/p95/p99 quantile gauges), worker
+pool health (active kind, degradation count), and disk cache sizes —
+into one text-format registry, the output of both the service's
+``metrics`` protocol op and the one-shot ``stats --prometheus`` CLI.
+
+Histogram quantiles cannot ride on the histogram family itself in the
+text format, so they are exposed as sibling ``*_quantile`` gauge
+families (``repro_stage_seconds_quantile{stage="frontend",
+quantile="0.95"}``), computed from the cumulative buckets by
+:meth:`repro.service.metrics.Histogram.quantile`.
+
+:func:`parse_prometheus_text` is a small reference parser used by the
+tests and the CI smoke job to prove the exposition stays parseable.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+_METRIC_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+#: quantiles exposed for every histogram family
+QUANTILE_KEYS = (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99"))
+
+
+def _escape(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _fmt_value(value: Any) -> str:
+    if value is None:
+        return "NaN"
+    number = float(value)
+    if math.isinf(number):
+        return "+Inf" if number > 0 else "-Inf"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+class _Family:
+    """One metric family: TYPE/HELP header plus its samples."""
+
+    def __init__(self, name: str, kind: str, help_text: str):
+        self.name = name
+        self.kind = kind
+        self.help_text = help_text
+        self.samples: List[Tuple[str, Dict[str, str], Any]] = []
+
+    def add(self, value: Any, suffix: str = "", **labels: Any) -> None:
+        self.samples.append(
+            (suffix, {k: str(v) for k, v in labels.items()}, value)
+        )
+
+    def render(self) -> List[str]:
+        lines = [
+            f"# HELP {self.name} {self.help_text}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+        for suffix, labels, value in self.samples:
+            label_txt = ""
+            if labels:
+                inner = ",".join(
+                    f'{k}="{_escape(v)}"' for k, v in sorted(labels.items())
+                )
+                label_txt = "{" + inner + "}"
+            lines.append(
+                f"{self.name}{suffix}{label_txt} {_fmt_value(value)}"
+            )
+        return lines
+
+
+class Registry:
+    """An ordered set of metric families under one namespace."""
+
+    def __init__(self, namespace: str = "repro"):
+        self.namespace = namespace
+        self._families: Dict[str, _Family] = {}
+
+    def family(self, name: str, kind: str, help_text: str) -> _Family:
+        full = f"{self.namespace}_{name}"
+        if full not in self._families:
+            self._families[full] = _Family(full, kind, help_text)
+        return self._families[full]
+
+    def render(self) -> str:
+        lines: List[str] = []
+        for family in self._families.values():
+            if family.samples:
+                lines.extend(family.render())
+        return "\n".join(lines) + "\n"
+
+
+def _add_histogram(
+    registry: Registry,
+    base: str,
+    help_text: str,
+    label_name: str,
+    label_value: str,
+    snap: Mapping[str, Any],
+) -> None:
+    """Emit one labeled histogram plus its quantile gauges."""
+    hist = registry.family(base, "histogram", help_text)
+    labels = {label_name: label_value}
+    for le, cumulative in snap.get("buckets", {}).items():
+        hist.add(cumulative, suffix="_bucket", le=le, **labels)
+    hist.add(snap.get("sum", 0.0), suffix="_sum", **labels)
+    hist.add(snap.get("count", 0), suffix="_count", **labels)
+
+    quantiles = snap.get("quantiles") or {}
+    if quantiles:
+        qfam = registry.family(
+            f"{base}_quantile", "gauge",
+            f"Bucket-derived quantiles of {registry.namespace}_{base}",
+        )
+        for q_label, key in QUANTILE_KEYS:
+            if key in quantiles:
+                qfam.add(quantiles[key], quantile=q_label, **labels)
+
+
+def render_prometheus(
+    stats: Mapping[str, Any], namespace: str = "repro"
+) -> str:
+    """Render a :meth:`LayoutService.stats` snapshot as Prometheus text."""
+    registry = Registry(namespace)
+
+    registry.family(
+        "uptime_seconds", "gauge", "Seconds since the metrics registry "
+        "was created",
+    ).add(stats.get("uptime_seconds", 0.0))
+
+    counters = registry.family(
+        "counter_total", "counter", "Service event counters",
+    )
+    for name, value in sorted(stats.get("counters", {}).items()):
+        counters.add(value, name=name)
+
+    cache = stats.get("cache", {})
+    registry.family(
+        "cache_hits_total", "counter", "Stage cache hits (all stages)",
+    ).add(cache.get("hits", 0))
+    registry.family(
+        "cache_misses_total", "counter", "Stage cache misses (all stages)",
+    ).add(cache.get("misses", 0))
+    per_stage_hits = registry.family(
+        "stage_cache_hits_total", "counter", "Stage cache hits per stage",
+    )
+    per_stage_misses = registry.family(
+        "stage_cache_misses_total", "counter",
+        "Stage cache misses per stage",
+    )
+    for stage, slot in sorted(cache.get("per_stage", {}).items()):
+        per_stage_hits.add(slot.get("hits", 0), stage=stage)
+        per_stage_misses.add(slot.get("misses", 0), stage=stage)
+    disk = registry.family(
+        "cache_disk_entries", "gauge", "Persisted cache entries per stage",
+    )
+    for stage, count in sorted(cache.get("disk_entries", {}).items()):
+        disk.add(count, stage=stage)
+
+    for stage, snap in sorted(stats.get("stage_seconds", {}).items()):
+        _add_histogram(
+            registry, "stage_seconds",
+            "Wall time of pipeline stages (seconds)",
+            "stage", stage, snap,
+        )
+    for name, snap in sorted(stats.get("span_seconds", {}).items()):
+        _add_histogram(
+            registry, "span_seconds",
+            "Wall time of trace spans (seconds)",
+            "span", name, snap,
+        )
+
+    gauges = registry.family("gauge", "gauge", "Service gauges")
+    for name, value in sorted(stats.get("gauges", {}).items()):
+        gauges.add(value, name=name)
+
+    pool = stats.get("pool", {})
+    if pool:
+        registry.family(
+            "pool_degradations_total", "counter",
+            "Worker pool degradations (process -> thread -> serial)",
+        ).add(pool.get("degradations", 0))
+        active = registry.family(
+            "pool_active_kind", "gauge",
+            "1 for the worker pool kind currently active",
+        )
+        for kind in ("process", "thread", "serial"):
+            active.add(
+                1 if pool.get("active_kind") == kind else 0, kind=kind
+            )
+        if pool.get("max_workers") is not None:
+            registry.family(
+                "pool_max_workers", "gauge",
+                "Configured worker count",
+            ).add(pool["max_workers"])
+
+    return registry.render()
+
+
+def parse_prometheus_text(
+    text: str,
+) -> Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float]:
+    """Parse exposition text into ``{(name, labels): value}``.
+
+    A deliberately strict reference parser: any non-comment, non-blank
+    line that does not match the exposition grammar raises
+    ``ValueError``.  Used by tests and the CI smoke job.
+    """
+    out: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip() or line.startswith("#"):
+            continue
+        match = _METRIC_RE.match(line)
+        if not match:
+            raise ValueError(f"line {lineno}: unparseable {line!r}")
+        labels: List[Tuple[str, str]] = []
+        raw = match.group("labels")
+        if raw:
+            labels = [(k, v) for k, v in _LABEL_RE.findall(raw)]
+        value_txt = match.group("value")
+        if value_txt == "NaN":
+            value = float("nan")
+        elif value_txt in ("+Inf", "-Inf"):
+            value = float(value_txt.replace("Inf", "inf"))
+        else:
+            value = float(value_txt)
+        out[(match.group("name"), tuple(labels))] = value
+    return out

@@ -14,6 +14,7 @@ from ..analysis.phases import Phase
 from ..distribution.search_space import CandidateLayout, LayoutSearchSpaces
 from ..frontend.symbols import SymbolTable
 from ..machine.params import MachineParams
+from ..obs import tracing
 from .compiler_model import (
     CompilerOptions,
     FORTRAN_D_PROTOTYPE,
@@ -66,13 +67,26 @@ def estimate_phase_candidates(
     inputs — so it is safe to ship to any worker (thread or process) and
     the combined result is deterministic regardless of scheduling.
     """
-    estimates = []
-    for candidate in candidates:
-        compiled = model_phase(phase, candidate.layout, symbols, params)
-        estimate = price_phase(compiled, db, nprocs, options)
-        estimates.append(
-            EstimatedCandidate(candidate=candidate, estimate=estimate)
-        )
+    with tracing.span(
+        "estimate.phase", phase=phase.index, candidates=len(candidates)
+    ):
+        estimates = []
+        for candidate in candidates:
+            compiled = model_phase(
+                phase, candidate.layout, symbols, params
+            )
+            estimate = price_phase(compiled, db, nprocs, options)
+            if tracing.active():
+                tracing.add_event(
+                    "estimate.candidate",
+                    phase=phase.index,
+                    position=candidate.position,
+                    label=candidate.label,
+                    total_us=estimate.total,
+                )
+            estimates.append(
+                EstimatedCandidate(candidate=candidate, estimate=estimate)
+            )
     return estimates
 
 
@@ -107,10 +121,17 @@ def estimate_search_spaces(
          options)
         for idx, candidates in items
     ]
-    if job_runner is None:
-        results = [estimate_phase_candidates(*args) for args in argtuples]
-    else:
-        results = job_runner(estimate_phase_candidates, argtuples)
+    with tracing.span(
+        "estimation.fanout",
+        jobs=len(argtuples),
+        parallel=job_runner is not None,
+    ):
+        if job_runner is None:
+            results = [
+                estimate_phase_candidates(*args) for args in argtuples
+            ]
+        else:
+            results = job_runner(estimate_phase_candidates, argtuples)
     per_phase: Dict[int, List[EstimatedCandidate]] = {
         idx: estimates for (idx, _), estimates in zip(items, results)
     }

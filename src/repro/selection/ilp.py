@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from ..ilp import MINIMIZE, Solution, ZeroOneModel, solve as ilp_solve
+from ..obs import tracing
 from .layout_graph import DataLayoutGraph
 
 
@@ -115,24 +116,35 @@ def select_layouts(
     allowed: Optional[Dict[int, set]] = None,
 ) -> SelectionResult:
     """Solve the selection problem to proven optimality."""
-    ilp = build_selection_model(graph, allowed=allowed)
-    solution = ilp_solve(ilp.model, backend=backend)
-    if not solution.is_optimal:
-        raise RuntimeError(f"selection ILP {solution.status}")
-    selection: Dict[int, int] = {}
-    for phase_index, costs in graph.node_costs.items():
-        for cand in range(len(costs)):
-            if solution.values.get(_x(phase_index, cand)) == 1:
-                selection[phase_index] = cand
-                break
-        else:  # pragma: no cover - exactly-one constraint guarantees this
-            raise AssertionError(f"no candidate chosen for {phase_index}")
-    # Cross-check the ILP objective against the shared evaluator.
-    evaluated = graph.evaluate(selection)
-    if abs(evaluated - solution.objective) > max(1e-6 * evaluated, 1e-3):
-        raise AssertionError(
-            f"ILP objective {solution.objective} != evaluated {evaluated}"
-        )
+    with tracing.span("selection.solve", backend=backend) as sp:
+        ilp = build_selection_model(graph, allowed=allowed)
+        sp.set_attr("variables", ilp.num_variables)
+        sp.set_attr("constraints", ilp.num_constraints)
+        solution = ilp_solve(ilp.model, backend=backend)
+        if not solution.is_optimal:
+            raise RuntimeError(f"selection ILP {solution.status}")
+        selection: Dict[int, int] = {}
+        for phase_index, costs in graph.node_costs.items():
+            for cand in range(len(costs)):
+                if solution.values.get(_x(phase_index, cand)) == 1:
+                    selection[phase_index] = cand
+                    break
+            else:  # pragma: no cover - guaranteed by exactly-one
+                raise AssertionError(
+                    f"no candidate chosen for {phase_index}"
+                )
+        # Cross-check the ILP objective against the shared evaluator.
+        evaluated = graph.evaluate(selection)
+        if abs(evaluated - solution.objective) > max(
+            1e-6 * evaluated, 1e-3
+        ):
+            raise AssertionError(
+                f"ILP objective {solution.objective} != "
+                f"evaluated {evaluated}"
+            )
+        sp.set_attr("objective_us", evaluated)
+        if tracing.active():
+            _record_provenance(graph, selection)
     return SelectionResult(
         selection=selection,
         objective=evaluated,
@@ -140,3 +152,36 @@ def select_layouts(
         num_variables=ilp.num_variables,
         num_constraints=ilp.num_constraints,
     )
+
+
+def _record_provenance(
+    graph: DataLayoutGraph, selection: Dict[int, int]
+) -> None:
+    """Record why each phase got its layout: the chosen candidate (with
+    the full cost vector it won against) and every remapping decision."""
+    for phase_index, position in sorted(selection.items()):
+        chosen = graph.estimates.per_phase[phase_index][position]
+        layout = chosen.candidate.layout
+        costs = graph.node_costs[phase_index]
+        tracing.add_event(
+            "selection.choice",
+            phase=phase_index,
+            position=position,
+            layout=layout.describe(),
+            distribution=str(layout.distribution),
+            alignment_provenance=chosen.candidate.alignment.provenance,
+            node_cost_us=costs[position],
+            costs_us=list(costs),
+            alignments={name: str(align)
+                        for name, align in layout.alignments},
+        )
+    for edge in graph.edges:
+        pair = (selection[edge.src_phase], selection[edge.dst_phase])
+        cost = edge.costs.get(pair, 0.0)
+        tracing.add_event(
+            "selection.remap",
+            src_phase=edge.src_phase,
+            dst_phase=edge.dst_phase,
+            cost_us=cost,
+            remapped=cost > 0.0,
+        )

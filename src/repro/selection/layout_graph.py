@@ -23,6 +23,7 @@ from ..analysis.pcfg import ENTRY, EXIT, PCFG
 from ..analysis.phases import Phase
 from ..codegen.spmd import array_layout_signature
 from ..frontend.symbols import ArraySymbol, SymbolTable
+from ..obs import tracing
 from ..perf.estimator import EstimatedCandidate, EstimationResult
 from ..perf.training import TrainingDatabase
 
@@ -129,6 +130,31 @@ def build_layout_graph(
     nprocs: int,
 ) -> DataLayoutGraph:
     """Assemble the data layout graph from estimates and the PCFG."""
+    with tracing.span("graph.build", phases=len(phases)) as graph_span:
+        graph = _build_layout_graph(
+            phases, pcfg, estimates, symbols, db, nprocs
+        )
+        graph_span.set_attr("nodes", graph.num_nodes())
+        graph_span.set_attr("edges", len(graph.edges))
+        if tracing.active():
+            for array, edges in sorted(graph.transitions.items()):
+                tracing.add_event(
+                    "graph.transitions",
+                    array=array,
+                    transitions=[[src, dst, freq]
+                                 for src, dst, freq in edges],
+                )
+    return graph
+
+
+def _build_layout_graph(
+    phases: Sequence[Phase],
+    pcfg: PCFG,
+    estimates: EstimationResult,
+    symbols: SymbolTable,
+    db: TrainingDatabase,
+    nprocs: int,
+) -> DataLayoutGraph:
     referencing: Dict[str, set] = {}
     for phase in phases:
         for array in phase.arrays:

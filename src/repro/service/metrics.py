@@ -45,6 +45,33 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Bucket-derived quantile estimate (the ``histogram_quantile``
+        interpolation): find the bucket holding the target rank and
+        interpolate linearly inside it, clamped to the observed
+        min/max so tiny samples stay sane.  ``None`` when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        target = q * self.count
+        cumulative = 0
+        lower = 0.0
+        for bound, count in zip(self.bounds, self.counts):
+            cumulative += count
+            if count and cumulative >= target:
+                fraction = (target - (cumulative - count)) / count
+                value = lower + (bound - lower) * fraction
+                if self.min is not None:
+                    value = max(value, self.min)
+                if self.max is not None:
+                    value = min(value, self.max)
+                return value
+            lower = bound
+        # target rank lives in the +Inf bucket: the best finite answer
+        # is the observed maximum
+        return self.max
+
     def snapshot(self) -> Dict[str, object]:
         buckets = {}
         cumulative = 0
@@ -59,6 +86,11 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "buckets": buckets,
+            "quantiles": {
+                "p50": self.quantile(0.5),
+                "p95": self.quantile(0.95),
+                "p99": self.quantile(0.99),
+            },
         }
 
 
@@ -68,8 +100,10 @@ class Metrics:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
         self._cache: Dict[str, Dict[str, int]] = {}
         self._stage_seconds: Dict[str, Histogram] = {}
+        self._span_seconds: Dict[str, Histogram] = {}
         self.started_at = time.time()
 
     # -- recording -------------------------------------------------------
@@ -77,6 +111,11 @@ class Metrics:
     def inc(self, name: str, amount: int = 1) -> None:
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set a point-in-time gauge (pool degradations, active kind...)."""
+        with self._lock:
+            self._gauges[name] = value
 
     def record_cache(self, stage: str, hit: bool) -> None:
         with self._lock:
@@ -90,25 +129,41 @@ class Metrics:
                 hist = self._stage_seconds[stage] = Histogram()
             hist.observe(seconds)
 
+    def observe_span(self, name: str, seconds: float) -> None:
+        """Fold one trace-span duration into the span aggregates."""
+        with self._lock:
+            hist = self._span_seconds.get(name)
+            if hist is None:
+                hist = self._span_seconds[name] = Histogram()
+            hist.observe(seconds)
+
     # -- reading ---------------------------------------------------------
 
     def counter(self, name: str) -> int:
         with self._lock:
             return self._counters.get(name, 0)
 
+    def gauge(self, name: str) -> Optional[float]:
+        with self._lock:
+            return self._gauges.get(name)
+
+    def _cache_totals_locked(self) -> Tuple[int, int]:
+        """Sum cache hits/misses across stages (caller holds the lock)."""
+        hits = sum(s["hits"] for s in self._cache.values())
+        misses = sum(s["misses"] for s in self._cache.values())
+        return hits, misses
+
     def cache_totals(self) -> Tuple[int, int]:
         with self._lock:
-            hits = sum(s["hits"] for s in self._cache.values())
-            misses = sum(s["misses"] for s in self._cache.values())
-        return hits, misses
+            return self._cache_totals_locked()
 
     def snapshot(self) -> Dict[str, object]:
         with self._lock:
-            hits = sum(s["hits"] for s in self._cache.values())
-            misses = sum(s["misses"] for s in self._cache.values())
+            hits, misses = self._cache_totals_locked()
             return {
                 "uptime_seconds": time.time() - self.started_at,
                 "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
                 "cache": {
                     "hits": hits,
                     "misses": misses,
@@ -120,5 +175,9 @@ class Metrics:
                 "stage_seconds": {
                     stage: hist.snapshot()
                     for stage, hist in sorted(self._stage_seconds.items())
+                },
+                "span_seconds": {
+                    name: hist.snapshot()
+                    for name, hist in sorted(self._span_seconds.items())
                 },
             }

@@ -28,6 +28,7 @@ from concurrent.futures import (
 )
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+from ..obs import tracing
 from .errors import JobTimeoutError
 from .jobs import TRANSIENT_EXECUTOR_ERRORS, build_jobs, run_job
 
@@ -120,7 +121,39 @@ class WorkerPool:
         This is the :data:`repro.perf.estimator.JobRunner` interface, so
         a pool can be handed straight to ``estimate_search_spaces`` /
         ``run_assistant``.
+
+        When a trace is active in the calling context, every job is
+        wrapped in :func:`repro.obs.tracing.run_traced_job`: workers
+        (subprocess, thread, or degraded-serial alike) collect their
+        spans under the caller's trace ID and ship them back with the
+        result, so the whole fan-out reports into one trace.
         """
+        tracer = tracing.active_tracer()
+        if tracer is None:
+            return self._dispatch(fn, argtuples)
+        with tracing.span(
+            f"pool:{getattr(fn, '__name__', 'jobs')}",
+            jobs=len(argtuples),
+            requested_kind=self.requested_kind,
+        ) as pool_span:
+            prefix = tracer.new_prefix()
+            wrapped = [
+                (tracer.trace_id, pool_span.span_id,
+                 f"{prefix}{i}.", fn, tuple(args))
+                for i, args in enumerate(argtuples)
+            ]
+            pairs = self._dispatch(tracing.run_traced_job, wrapped)
+            pool_span.set_attr("active_kind", self.active_kind)
+            pool_span.set_attr("degradations", self.degradations)
+        values: List[Any] = []
+        for value, span_dicts in pairs:
+            tracer.merge(span_dicts)
+            values.append(value)
+        return values
+
+    def _dispatch(self, fn: Callable[..., Any],
+                  argtuples: Sequence[Tuple]) -> List[Any]:
+        """The untraced mapping core shared by both run_jobs paths."""
         jobs = build_jobs(fn, argtuples)
         if not jobs:
             return []

@@ -3,8 +3,10 @@
 The wire format is JSON, one object per line (newline-delimited JSON
 over TCP).  Every request carries an ``op``:
 
-- ``analyze``  — run the framework, return selected layouts;
+- ``analyze``  — run the framework, return selected layouts (pass
+  ``"trace": true`` to also receive the request's span trace);
 - ``stats``    — observability snapshot (counters, cache, histograms);
+- ``metrics``  — the same registry as Prometheus text exposition;
 - ``ping``     — liveness probe;
 - ``shutdown`` — stop the server.
 
@@ -25,12 +27,12 @@ from ..tool.assistant import AssistantConfig, AssistantResult
 from .errors import RequestValidationError
 
 #: ops a server understands
-OPS = ("analyze", "stats", "ping", "shutdown")
+OPS = ("analyze", "stats", "metrics", "ping", "shutdown")
 
 #: fields accepted in an analyze request
 _ANALYZE_FIELDS = {
     "op", "request_id", "program", "source", "size", "dtype", "maxiter",
-    "procs", "machine", "backend", "use_cache",
+    "procs", "machine", "backend", "use_cache", "trace",
 }
 
 
@@ -48,6 +50,7 @@ class LayoutRequest:
     machine: Any = "ipsc860"  # registry name or MachineParams dict
     backend: str = "scipy"
     use_cache: bool = True
+    trace: bool = False  # return the request's span trace?
     request_id: Optional[str] = None
 
     @classmethod
@@ -98,6 +101,7 @@ class LayoutRequest:
             machine=machine,
             backend=backend,
             use_cache=bool(data.get("use_cache", True)),
+            trace=bool(data.get("trace", False)),
             request_id=data.get("request_id"),
         )
 
@@ -111,6 +115,7 @@ class LayoutRequest:
         out["machine"] = self.machine
         out["backend"] = self.backend
         out["use_cache"] = self.use_cache
+        out["trace"] = self.trace
         return out
 
     # -- resolution ------------------------------------------------------
@@ -179,6 +184,8 @@ class LayoutResponse:
     stage_timings: List[StageTiming] = field(default_factory=list)
     cache_hits: int = 0
     cache_misses: int = 0
+    #: the request's serialized span trace, when asked for
+    trace: Optional[Dict[str, Any]] = None
 
     @classmethod
     def from_result(
@@ -225,6 +232,8 @@ class LayoutResponse:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
         })
+        if self.trace is not None:
+            out["trace"] = self.trace
         return out
 
     @classmethod
@@ -245,4 +254,5 @@ class LayoutResponse:
             stage_timings=timings,
             cache_hits=int(data.get("cache_hits", 0)),
             cache_misses=int(data.get("cache_misses", 0)),
+            trace=data.get("trace"),
         )

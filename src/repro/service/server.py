@@ -25,6 +25,9 @@ from concurrent.futures import (
 from time import perf_counter
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..obs import tracing
+from ..obs.log import get_logger
+from ..obs.prometheus import render_prometheus
 from ..tool.assistant import (
     AssistantResult,
     stage_alignment,
@@ -42,6 +45,8 @@ from .protocol import LayoutRequest, LayoutResponse, StageTiming
 
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 7861
+
+logger = get_logger("repro.service")
 
 
 class LayoutService:
@@ -82,14 +87,16 @@ class LayoutService:
         timings: List[StageTiming] = []
 
         def run_stage(name: str, key: str, compute):
-            start = perf_counter()
-            hit, value = (self.cache.load(name, key) if use_cache
-                          else (False, None))
-            if not hit:
-                value = compute()
-                if use_cache:
-                    self.cache.store(name, key, value)
-            seconds = perf_counter() - start
+            with tracing.span("service.stage", stage=name) as stage_span:
+                start = perf_counter()
+                hit, value = (self.cache.load(name, key) if use_cache
+                              else (False, None))
+                if not hit:
+                    value = compute()
+                    if use_cache:
+                        self.cache.store(name, key, value)
+                seconds = perf_counter() - start
+                stage_span.set_attr("cache_hit", hit)
             timings.append(
                 StageTiming(stage=name, seconds=seconds, cache_hit=hit)
             )
@@ -149,40 +156,79 @@ class LayoutService:
     # -- request handling ------------------------------------------------
 
     def analyze(self, request: LayoutRequest) -> LayoutResponse:
-        """Serve one analyze request (deadline-bounded, never raises)."""
+        """Serve one analyze request (deadline-bounded, never raises).
+
+        Every request runs under its own tracer: span durations feed the
+        ``span_seconds`` aggregates in the metrics registry, and the
+        full trace is attached to the response when the request asked
+        for it.  The tracer is activated *inside* the deadline thread
+        (ContextVars do not cross threads on their own)."""
         self.metrics.inc("requests_total")
         start = perf_counter()
+        tracer = tracing.Tracer(name="request")
+
+        def pipeline() -> Tuple[AssistantResult, List[StageTiming]]:
+            with tracing.activate(tracer):
+                with tracing.span(
+                    "request",
+                    request_id=request.request_id or "",
+                    program=request.program or "<source>",
+                ):
+                    return self._run_pipeline(request)
+
         try:
-            if self.request_timeout is not None:
-                executor = ThreadPoolExecutor(max_workers=1)
-                try:
-                    future = executor.submit(self._run_pipeline, request)
-                    result, timings = future.result(
-                        timeout=self.request_timeout
-                    )
-                finally:
-                    executor.shutdown(wait=False, cancel_futures=True)
-            else:
-                result, timings = self._run_pipeline(request)
-        except FuturesTimeoutError:
-            self.metrics.inc("requests_failed")
-            self.metrics.inc("requests_timeout")
-            return LayoutResponse.failure(
-                RequestTimeoutError(
-                    f"request exceeded {self.request_timeout}s"
-                ),
-                request_id=request.request_id,
-            )
-        except Exception as exc:
-            self.metrics.inc("requests_failed")
-            return LayoutResponse.failure(
-                exc, request_id=request.request_id
-            )
+            try:
+                if self.request_timeout is not None:
+                    executor = ThreadPoolExecutor(max_workers=1)
+                    try:
+                        future = executor.submit(pipeline)
+                        result, timings = future.result(
+                            timeout=self.request_timeout
+                        )
+                    finally:
+                        executor.shutdown(wait=False, cancel_futures=True)
+                else:
+                    result, timings = pipeline()
+            except FuturesTimeoutError:
+                self.metrics.inc("requests_failed")
+                self.metrics.inc("requests_timeout")
+                logger.warning(
+                    "request %s timed out after %ss",
+                    request.request_id or "<anonymous>",
+                    self.request_timeout,
+                )
+                return LayoutResponse.failure(
+                    RequestTimeoutError(
+                        f"request exceeded {self.request_timeout}s"
+                    ),
+                    request_id=request.request_id,
+                )
+            except Exception as exc:
+                self.metrics.inc("requests_failed")
+                logger.warning(
+                    "request %s failed: %s",
+                    request.request_id or "<anonymous>", exc,
+                )
+                return LayoutResponse.failure(
+                    exc, request_id=request.request_id
+                )
+        finally:
+            self._fold_trace(tracer)
         self.metrics.inc("requests_ok")
         self.metrics.observe_stage("request", perf_counter() - start)
-        return LayoutResponse.from_result(
+        response = LayoutResponse.from_result(
             result, timings, request_id=request.request_id
         )
+        if request.trace:
+            response.trace = tracer.to_dict()
+        return response
+
+    def _fold_trace(self, tracer: tracing.Tracer) -> None:
+        """Fold a request trace's span durations into the registry so
+        the Prometheus exposition carries pipeline span aggregates."""
+        for name, durations in tracer.durations_by_name().items():
+            for seconds in durations:
+                self.metrics.observe_span(name, seconds)
 
     def analyze_dict(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         try:
@@ -196,24 +242,41 @@ class LayoutService:
         return self.analyze(request).to_dict()
 
     def stats(self) -> Dict[str, Any]:
+        pool = self.pool.describe()
+        # Mirror pool health into gauges so silent process -> thread ->
+        # serial fallbacks surface in every exposition of the registry.
+        self.metrics.set_gauge("pool_degradations", pool["degradations"])
+        self.metrics.set_gauge(
+            "pool_active_serial", 1 if pool["active_kind"] == "serial" else 0
+        )
         snapshot = self.metrics.snapshot()
-        snapshot["pool"] = self.pool.describe()
+        snapshot["pool"] = pool
         snapshot["cache"]["disk_entries"] = self.cache.entry_count()
         snapshot["cache"]["dir"] = self.cache.root
         return snapshot
 
+    def prometheus(self) -> str:
+        """The metrics registry in Prometheus text exposition format."""
+        return render_prometheus(self.stats())
+
     def handle(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         """Dispatch one decoded protocol message."""
         op = payload.get("op", "analyze")
+        logger.debug("handling op %r", op)
         if op == "ping":
             return {"ok": True, "op": "ping"}
         if op == "stats":
             return {"ok": True, "op": "stats", "stats": self.stats()}
+        if op == "metrics":
+            return {"ok": True, "op": "metrics",
+                    "text": self.prometheus()}
         if op == "shutdown":
+            logger.info("shutdown requested over the protocol")
             return {"ok": True, "op": "shutdown"}
         if op == "analyze":
             return self.analyze_dict(payload)
         self.metrics.inc("requests_failed")
+        logger.warning("rejecting unknown op %r", op)
         return {"ok": False, "error": f"unknown op {op!r}",
                 "error_kind": "bad-request"}
 

@@ -46,6 +46,7 @@ from ..frontend.inline import inline_program
 from ..frontend.parser import parse_source_file
 from ..frontend.symbols import SymbolTable, build_symbol_table
 from ..machine.params import IPSC860, MACHINES, MachineParams
+from ..obs.tracing import span as obs_span
 from ..perf.compiler_model import FORTRAN_D_PROTOTYPE, CompilerOptions
 from ..perf.estimator import (
     EstimationResult,
@@ -210,8 +211,14 @@ def stage_frontend(source: str) -> Tuple[ast.Program, SymbolTable]:
     framework itself is intra-procedural, like the paper's prototype, but
     the tool performs the inlining its authors did by hand.
     """
-    program = inline_program(parse_source_file(source))
-    symbols = build_symbol_table(program)
+    with obs_span("stage:frontend", source_bytes=len(source)) as sp:
+        with obs_span("frontend.parse"):
+            program = parse_source_file(source)
+        with obs_span("frontend.inline"):
+            program = inline_program(program)
+        with obs_span("frontend.symbols"):
+            symbols = build_symbol_table(program)
+        sp.set_attr("arrays", len(symbols.arrays()))
     return program, symbols
 
 
@@ -219,14 +226,20 @@ def stage_partition(
     program: ast.Program, symbols: SymbolTable, config: AssistantConfig
 ) -> Tuple[PhasePartition, PCFG, Template]:
     """Phase partitioning, PCFG construction, template determination."""
-    partition = partition_phases(
-        program,
-        symbols,
-        branch_probability=config.branch_probability,
-        branch_prob_overrides=config.branch_prob_overrides,
-    )
-    pcfg = build_pcfg(partition)
-    template = determine_template(symbols)
+    with obs_span("stage:partition") as sp:
+        with obs_span("partition.phases"):
+            partition = partition_phases(
+                program,
+                symbols,
+                branch_probability=config.branch_probability,
+                branch_prob_overrides=config.branch_prob_overrides,
+            )
+        with obs_span("partition.pcfg"):
+            pcfg = build_pcfg(partition)
+        with obs_span("partition.template"):
+            template = determine_template(symbols)
+        sp.set_attr("phases", len(partition.phases))
+        sp.set_attr("template_rank", template.rank)
     return partition, pcfg, template
 
 
@@ -238,10 +251,18 @@ def stage_alignment(
     config: AssistantConfig,
 ) -> AlignmentSearchSpaces:
     """Per-phase alignment search spaces (intra-phase CAG optimization)."""
-    return build_alignment_search_spaces(
-        partition.phases, pcfg, symbols, template,
-        backend=config.ilp_backend,
-    )
+    with obs_span("stage:alignment", backend=config.ilp_backend) as sp:
+        spaces = build_alignment_search_spaces(
+            partition.phases, pcfg, symbols, template,
+            backend=config.ilp_backend,
+        )
+        sp.set_attr("classes", len(spaces.classes))
+        sp.set_attr("resolutions", len(spaces.resolutions))
+        sp.set_attr(
+            "candidates",
+            sum(len(v) for v in spaces.per_phase.values()),
+        )
+    return spaces
 
 
 def stage_distribution(
@@ -252,10 +273,14 @@ def stage_distribution(
     config: AssistantConfig,
 ) -> LayoutSearchSpaces:
     """Candidate data-layout search spaces (alignment x distribution)."""
-    return build_layout_search_spaces(
-        partition.phases, alignment_spaces, template, symbols,
-        nprocs=config.nprocs, options=config.distributions,
-    )
+    with obs_span("stage:distribution", nprocs=config.nprocs) as sp:
+        spaces = build_layout_search_spaces(
+            partition.phases, alignment_spaces, template, symbols,
+            nprocs=config.nprocs, options=config.distributions,
+        )
+        sp.set_attr("candidates", spaces.total_candidates())
+        sp.set_attr("distributions", len(spaces.distributions))
+    return spaces
 
 
 def stage_estimation(
@@ -266,11 +291,19 @@ def stage_estimation(
     job_runner: Optional[JobRunner] = None,
 ) -> Tuple[EstimationResult, TrainingDatabase]:
     """Price every candidate of every phase against the training sets."""
-    db = cached_training_database(config.machine)
-    estimates = estimate_search_spaces(
-        partition.phases, layout_spaces, symbols, config.machine,
-        db=db, options=config.compiler, job_runner=job_runner,
-    )
+    with obs_span(
+        "stage:estimation", parallel=job_runner is not None
+    ) as sp:
+        with obs_span("estimation.training_db"):
+            db = cached_training_database(config.machine)
+        estimates = estimate_search_spaces(
+            partition.phases, layout_spaces, symbols, config.machine,
+            db=db, options=config.compiler, job_runner=job_runner,
+        )
+        sp.set_attr(
+            "candidates",
+            sum(len(v) for v in estimates.per_phase.values()),
+        )
     return estimates, db
 
 
@@ -283,10 +316,14 @@ def stage_selection(
     config: AssistantConfig,
 ) -> Tuple[DataLayoutGraph, SelectionResult]:
     """Build the data layout graph and solve the 0-1 selection problem."""
-    graph = build_layout_graph(
-        partition.phases, pcfg, estimates, symbols, db, config.nprocs
-    )
-    selection = select_layouts(graph, backend=config.ilp_backend)
+    with obs_span("stage:selection", backend=config.ilp_backend) as sp:
+        graph = build_layout_graph(
+            partition.phases, pcfg, estimates, symbols, db, config.nprocs
+        )
+        selection = select_layouts(graph, backend=config.ilp_backend)
+        sp.set_attr("variables", selection.num_variables)
+        sp.set_attr("constraints", selection.num_constraints)
+        sp.set_attr("objective_us", selection.objective)
     return graph, selection
 
 
@@ -300,20 +337,24 @@ def run_assistant(
     ``job_runner`` (optional) parallelizes the estimation stage; results
     are identical with or without it.
     """
-    program, symbols = stage_frontend(source)
-    partition, pcfg, template = stage_partition(program, symbols, config)
-    alignment_spaces = stage_alignment(
-        partition, pcfg, symbols, template, config
-    )
-    layout_spaces = stage_distribution(
-        partition, alignment_spaces, template, symbols, config
-    )
-    estimates, db = stage_estimation(
-        partition, layout_spaces, symbols, config, job_runner=job_runner
-    )
-    graph, selection = stage_selection(
-        partition, pcfg, estimates, symbols, db, config
-    )
+    with obs_span("pipeline", nprocs=config.nprocs):
+        program, symbols = stage_frontend(source)
+        partition, pcfg, template = stage_partition(
+            program, symbols, config
+        )
+        alignment_spaces = stage_alignment(
+            partition, pcfg, symbols, template, config
+        )
+        layout_spaces = stage_distribution(
+            partition, alignment_spaces, template, symbols, config
+        )
+        estimates, db = stage_estimation(
+            partition, layout_spaces, symbols, config,
+            job_runner=job_runner
+        )
+        graph, selection = stage_selection(
+            partition, pcfg, estimates, symbols, db, config
+        )
     return AssistantResult(
         config=config,
         program=program,

@@ -6,15 +6,23 @@ Usage examples::
     autolayout analyze --file mycode.f --procs 8 --show-spaces
     autolayout compare --program erlebacher --size 64 --procs 16
     autolayout summary --programs adi shallow --quick
+    autolayout analyze --program adi --procs 16 --trace trace.json
+    autolayout explain --program adi --size 256 --procs 16
+    autolayout stats --program adi --procs 16 --prometheus
     autolayout serve --port 7861 --cache-dir ~/.autolayout-cache
     autolayout request --program adi --size 256 --procs 16
     autolayout service stats
+    autolayout service metrics
 
-``analyze`` runs the four framework steps and prints the selected layout;
-``compare`` also measures every promising scheme on the simulated
-machine; ``summary`` reproduces the paper's aggregate statistics over the
-test-case grids; ``serve`` starts the long-lived layout service and
-``request`` / ``service`` talk to it over its JSON protocol.
+``analyze`` runs the four framework steps and prints the selected layout
+(``--trace``/``--trace-chrome`` record the run's span trace); ``explain``
+reconstructs *why* each array got its layout from the recorded trace;
+``stats`` runs one analysis in-process and prints the observability
+snapshot (``--prometheus`` for text exposition); ``compare`` also
+measures every promising scheme on the simulated machine; ``summary``
+reproduces the paper's aggregate statistics over the test-case grids;
+``serve`` starts the long-lived layout service and ``request`` /
+``service`` talk to it over its JSON protocol.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ import sys
 from typing import List, Optional
 
 from ..machine.params import MACHINES
+from ..obs.log import LOG_LEVELS, configure_logging, get_logger
 from ..programs.registry import PROGRAMS
 from .assistant import AssistantConfig, run_assistant
 from .report import (
@@ -35,6 +44,8 @@ from .report import (
 )
 from .schemes import enumerate_schemes, measure_scheme
 from .testcases import TestCase, grid_for, run_test_case, summarize
+
+logger = get_logger("repro.cli")
 
 
 def _load_source(args: argparse.Namespace) -> str:
@@ -65,6 +76,34 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         default="scipy", help="0-1 solver backend")
 
 
+def _run_traced(source: str, config: AssistantConfig,
+                trace_path: Optional[str],
+                chrome_path: Optional[str]):
+    """Run the assistant, recording a span trace when asked to; returns
+    ``(result, trace_dict_or_None)``.  With neither path set, tracing
+    stays off entirely (results are bitwise-identical either way)."""
+    from ..obs import tracing
+
+    if not trace_path and not chrome_path:
+        return run_assistant(source, config), None
+    tracing.start_trace("analyze")
+    try:
+        result = run_assistant(source, config)
+    finally:
+        trace = tracing.finish_trace()
+    if trace_path:
+        from ..obs.events import write_trace
+
+        write_trace(trace, trace_path)
+        logger.info("wrote trace to %s", trace_path)
+    if chrome_path:
+        from ..obs.chrome import write_chrome_trace
+
+        write_chrome_trace(trace, chrome_path)
+        logger.info("wrote Chrome trace to %s", chrome_path)
+    return result, trace
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     source = _load_source(args)
     config = AssistantConfig(
@@ -72,7 +111,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         machine=MACHINES[args.machine],
         ilp_backend=args.backend,
     )
-    result = run_assistant(source, config)
+    result, _ = _run_traced(source, config, args.trace, args.trace_chrome)
     if args.show_spaces:
         print(format_search_spaces(result))
         print()
@@ -115,6 +154,73 @@ def cmd_hpf(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Run a traced analysis and report why each array got its layout."""
+    import json
+
+    from ..obs import tracing
+    from ..obs.provenance import build_provenance, format_provenance
+
+    source = _load_source(args)
+    config = AssistantConfig(
+        nprocs=args.procs,
+        machine=MACHINES[args.machine],
+        ilp_backend=args.backend,
+    )
+    tracing.start_trace("explain")
+    try:
+        run_assistant(source, config)
+    finally:
+        trace = tracing.finish_trace()
+    report = build_provenance(trace)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_provenance(report))
+    if args.trace:
+        from ..obs.events import write_trace
+
+        write_trace(trace, args.trace)
+        logger.info("wrote trace to %s", args.trace)
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """One-shot observability snapshot: run a single analysis through an
+    in-process service and print its metrics registry."""
+    import json
+
+    from ..service import LayoutService, WorkerPool
+    from ..service.protocol import LayoutRequest
+    from .report import format_service_stats
+
+    with LayoutService(
+        pool=WorkerPool(kind="serial"), use_cache=False
+    ) as service:
+        request = LayoutRequest.from_dict({
+            "program": args.program if not args.file else None,
+            "source": (open(args.file, encoding="utf-8").read()
+                       if args.file else None),
+            "size": args.size,
+            "dtype": args.dtype,
+            "maxiter": args.maxiter,
+            "procs": args.procs,
+            "machine": args.machine,
+            "backend": args.backend,
+        })
+        response = service.analyze(request)
+        if not response.ok:
+            logger.error("analysis failed: %s", response.error)
+            return 1
+        if args.prometheus:
+            print(service.prometheus(), end="")
+        elif args.json:
+            print(json.dumps(service.stats(), indent=2, sort_keys=True))
+        else:
+            print(format_service_stats(service.stats()))
+    return 0
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     source = _load_source(args)
     config = AssistantConfig(
@@ -142,9 +248,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
         use_cache=not args.no_cache,
     )
     server = LayoutServer((args.host, args.port), service)
-    print(f"layout service listening on {args.host}:{server.port} "
-          f"(pool: {service.pool.active_kind}, "
-          f"cache: {args.cache_dir or 'memory-only'})", flush=True)
+    logger.info(
+        "layout service listening on %s:%s (pool: %s, cache: %s)",
+        args.host, server.port, service.pool.active_kind,
+        args.cache_dir or "memory-only",
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive only
@@ -182,9 +290,11 @@ def cmd_request(args: argparse.Namespace) -> int:
         resp = send_request(payload, host=args.host, port=args.port,
                             timeout=args.timeout)
     except OSError as exc:
-        print(f"cannot reach layout service at {args.host}:{args.port} "
-              f"({exc}); start one with: autolayout serve",
-              file=sys.stderr)
+        logger.error(
+            "cannot reach layout service at %s:%s (%s); "
+            "start one with: autolayout serve",
+            args.host, args.port, exc,
+        )
         return 1
     if args.json:
         print(json.dumps(resp, indent=2, sort_keys=True))
@@ -203,18 +313,23 @@ def cmd_service(args: argparse.Namespace) -> int:
         resp = send_request({"op": args.action}, host=args.host,
                             port=args.port, timeout=args.timeout)
     except OSError as exc:
-        print(f"cannot reach layout service at {args.host}:{args.port} "
-              f"({exc}); start one with: autolayout serve",
-              file=sys.stderr)
+        logger.error(
+            "cannot reach layout service at %s:%s (%s); "
+            "start one with: autolayout serve",
+            args.host, args.port, exc,
+        )
         return 1
     if not resp.get("ok"):
-        print(f"service {args.action} failed: {resp.get('error')}")
+        logger.error("service %s failed: %s",
+                     args.action, resp.get("error"))
         return 1
     if args.action == "stats":
         if args.json:
             print(json.dumps(resp["stats"], indent=2, sort_keys=True))
         else:
             print(format_service_stats(resp["stats"]))
+    elif args.action == "metrics":
+        print(resp["text"], end="")
     else:
         print(json.dumps(resp))
     return 0
@@ -244,6 +359,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="Automatic data layout assistant for HPF-like programs "
                     "(Kennedy & Kremer, SC'95 reproduction)",
     )
+    parser.add_argument("--log-level", choices=list(LOG_LEVELS),
+                        default="info",
+                        help="stderr logging verbosity (default: info)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_analyze = sub.add_parser("analyze", help="select a data layout")
@@ -252,7 +370,34 @@ def main(argv: Optional[List[str]] = None) -> int:
                            help="print the candidate search spaces")
     p_analyze.add_argument("--dot-dir",
                            help="write PCFG / layout-graph DOT files here")
+    p_analyze.add_argument("--trace",
+                           help="record the run's span trace to this "
+                                "JSON file")
+    p_analyze.add_argument("--trace-chrome",
+                           help="also export a chrome://tracing file")
     p_analyze.set_defaults(func=cmd_analyze)
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="trace a run and report why each array got its layout",
+    )
+    _add_common(p_explain)
+    p_explain.add_argument("--json", action="store_true",
+                           help="print the provenance report as JSON")
+    p_explain.add_argument("--trace",
+                           help="also write the underlying span trace")
+    p_explain.set_defaults(func=cmd_explain)
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="run one in-process analysis and print the metrics registry",
+    )
+    _add_common(p_stats)
+    p_stats.add_argument("--prometheus", action="store_true",
+                         help="Prometheus text exposition format")
+    p_stats.add_argument("--json", action="store_true",
+                         help="print the raw JSON snapshot")
+    p_stats.set_defaults(func=cmd_stats)
 
     p_compare = sub.add_parser(
         "compare", help="measure every promising scheme on the simulator"
@@ -311,7 +456,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_service = sub.add_parser(
         "service", help="query or control a running service"
     )
-    p_service.add_argument("action", choices=["stats", "ping", "shutdown"])
+    p_service.add_argument(
+        "action", choices=["stats", "metrics", "ping", "shutdown"]
+    )
     _add_endpoint(p_service)
     p_service.add_argument("--json", action="store_true",
                            help="print the raw JSON stats")
@@ -329,6 +476,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_summary.set_defaults(func=cmd_summary)
 
     args = parser.parse_args(argv)
+    configure_logging(args.log_level)
     return args.func(args)
 
 

@@ -1,0 +1,428 @@
+"""The observability layer: tracing, exporters, Prometheus exposition,
+decision provenance, histogram quantiles, and the explain/stats CLI.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import tracing
+from repro.obs.chrome import to_chrome_trace, validate_chrome_trace
+from repro.obs.events import (
+    TraceValidationError,
+    iter_events,
+    load_trace,
+    spans_by_name,
+    validate_trace,
+    write_trace,
+)
+from repro.obs.log import configure_logging, get_logger
+from repro.obs.prometheus import parse_prometheus_text, render_prometheus
+from repro.obs.provenance import build_provenance, format_provenance
+from repro.service import LayoutService, WorkerPool
+from repro.service.metrics import Histogram, Metrics
+from repro.service.protocol import LayoutRequest
+from repro.tool.assistant import AssistantConfig, run_assistant
+from repro.tool.cli import main as cli_main
+
+
+def traced_square(x):
+    """Module-level pool job (picklable) that records its own span."""
+    with tracing.span("job.work", x=x):
+        tracing.add_event("job.event", x=x)
+        return x * x
+
+
+# ---------------------------------------------------------------------------
+# Histogram edge cases (satellite 1)
+
+
+class TestHistogramEdgeCases:
+    def test_empty_histogram(self):
+        hist = Histogram()
+        snap = hist.snapshot()
+        assert snap["count"] == 0
+        assert snap["sum"] == 0.0
+        assert snap["mean"] == 0.0
+        assert snap["min"] is None and snap["max"] is None
+        assert snap["quantiles"] == {"p50": None, "p95": None, "p99": None}
+
+    def test_value_exactly_on_bucket_bound(self):
+        hist = Histogram(buckets=(0.1, 1.0))
+        hist.observe(0.1)  # `le` buckets: bound values land inside
+        snap = hist.snapshot()
+        assert snap["buckets"]["0.1"] == 1
+        assert snap["buckets"]["1"] == 1
+        assert snap["buckets"]["+Inf"] == 1
+
+    def test_min_max_mean(self):
+        hist = Histogram()
+        for v in (0.002, 0.004, 0.09):
+            hist.observe(v)
+        snap = hist.snapshot()
+        assert snap["min"] == 0.002
+        assert snap["max"] == 0.09
+        assert snap["mean"] == pytest.approx(0.096 / 3)
+
+    def test_quantiles_single_observation(self):
+        hist = Histogram()
+        hist.observe(0.007)
+        # interpolation clamps to the observed min/max
+        assert hist.quantile(0.5) == 0.007
+        assert hist.quantile(0.99) == 0.007
+
+    def test_quantile_order_and_bounds(self):
+        hist = Histogram()
+        for i in range(1, 101):
+            hist.observe(i / 100.0)  # 0.01 .. 1.00
+        p50, p95, p99 = (hist.quantile(q) for q in (0.5, 0.95, 0.99))
+        assert 0.01 <= p50 <= p95 <= p99 <= 1.0
+        assert p50 == pytest.approx(0.5, abs=0.2)
+
+    def test_quantile_above_largest_bucket(self):
+        hist = Histogram(buckets=(0.1,))
+        hist.observe(5.0)  # lands in +Inf: best answer is the max
+        assert hist.quantile(0.5) == 5.0
+
+    def test_quantile_rejects_bad_q(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+    def test_metrics_gauges_and_span_seconds(self):
+        metrics = Metrics()
+        metrics.set_gauge("pool_degradations", 2)
+        metrics.observe_span("pipeline", 0.25)
+        snap = metrics.snapshot()
+        assert snap["gauges"]["pool_degradations"] == 2
+        assert snap["span_seconds"]["pipeline"]["count"] == 1
+        assert metrics.gauge("pool_degradations") == 2
+
+    def test_cache_totals_matches_snapshot(self):
+        metrics = Metrics()
+        metrics.record_cache("frontend", True)
+        metrics.record_cache("frontend", False)
+        metrics.record_cache("selection", False)
+        hits, misses = metrics.cache_totals()
+        snap = metrics.snapshot()
+        assert (hits, misses) == (1, 2)
+        assert snap["cache"]["hits"] == hits
+        assert snap["cache"]["misses"] == misses
+
+
+# ---------------------------------------------------------------------------
+# Span tracing core
+
+
+class TestTracing:
+    def test_disabled_tracing_is_a_noop(self):
+        assert not tracing.active()
+        with tracing.span("anything", k=1) as sp:
+            sp.set_attr("x", 2)  # NULL_SPAN swallows everything
+            tracing.add_event("ev")
+        assert tracing.active_tracer() is None
+
+    def test_span_nesting_parents(self):
+        tracing.start_trace("t")
+        try:
+            with tracing.span("outer") as outer:
+                with tracing.span("inner") as inner:
+                    assert inner.parent_id == outer.span_id
+                assert tracing.current_span_id() == outer.span_id
+        finally:
+            trace = tracing.finish_trace()
+        by_name = {s["name"]: s for s in trace["spans"]}
+        assert by_name["inner"]["parent_id"] == by_name["outer"]["span_id"]
+        assert by_name["outer"]["parent_id"] is None
+        validate_trace(trace)
+
+    def test_events_attach_to_open_span(self):
+        tracing.start_trace("t")
+        try:
+            with tracing.span("holder"):
+                tracing.add_event("marker", value=7)
+        finally:
+            trace = tracing.finish_trace()
+        (pair,) = list(iter_events(trace, "marker"))
+        span, event = pair
+        assert span["name"] == "holder"
+        assert event["attrs"]["value"] == 7
+
+    def test_duration_is_measured(self):
+        tracing.start_trace("t")
+        try:
+            with tracing.span("timed"):
+                pass
+        finally:
+            trace = tracing.finish_trace()
+        (span,) = spans_by_name(trace, "timed")
+        assert span["duration_us"] >= 0
+
+    def test_validate_rejects_bad_traces(self):
+        with pytest.raises(TraceValidationError):
+            validate_trace({"schema": "wrong"})
+        tracing.start_trace("t")
+        with tracing.span("a"):
+            pass
+        trace = tracing.finish_trace()
+        broken = json.loads(json.dumps(trace))
+        broken["spans"][0]["parent_id"] = "no-such-span"
+        with pytest.raises(TraceValidationError):
+            validate_trace(broken)
+
+    def test_write_and_load_roundtrip(self, tmp_path):
+        tracing.start_trace("t")
+        with tracing.span("a", n=1):
+            pass
+        trace = tracing.finish_trace()
+        path = str(tmp_path / "trace.json")
+        write_trace(trace, path)
+        assert load_trace(path) == trace
+
+
+# ---------------------------------------------------------------------------
+# Trace propagation through the worker pool (satellite 4)
+
+
+class TestPoolTracePropagation:
+    @pytest.mark.parametrize("kind", ["process", "thread", "serial"])
+    def test_jobs_report_into_one_trace(self, kind):
+        tracer = tracing.start_trace("pool-test")
+        try:
+            with WorkerPool(kind=kind, max_workers=2) as pool:
+                values = pool.run_jobs(
+                    traced_square, [(i,) for i in range(4)]
+                )
+        finally:
+            trace = tracing.finish_trace()
+        assert values == [0, 1, 4, 9]
+        validate_trace(trace)
+        job_spans = spans_by_name(trace, "job.work")
+        assert len(job_spans) == 4
+        (pool_span,) = spans_by_name(trace, "pool:traced_square")
+        for span in job_spans:
+            # worker spans hang off the pool span via prefixed IDs
+            assert span["span_id"].startswith("w")
+            parent = span["parent_id"]
+            while parent is not None and parent != pool_span["span_id"]:
+                parent = next(
+                    s["parent_id"] for s in trace["spans"]
+                    if s["span_id"] == parent
+                )
+            assert parent == pool_span["span_id"]
+        assert {s["attrs"]["x"] for s in job_spans} == {0, 1, 2, 3}
+        assert trace["trace_id"] == tracer.trace_id
+
+    def test_untraced_pool_runs_identically(self):
+        with WorkerPool(kind="serial") as pool:
+            assert pool.run_jobs(traced_square, [(3,)]) == [9]
+
+    def test_span_ids_unique_across_fanouts(self):
+        tracing.start_trace("t")
+        try:
+            with WorkerPool(kind="serial") as pool:
+                pool.run_jobs(traced_square, [(1,), (2,)])
+                pool.run_jobs(traced_square, [(3,)])
+        finally:
+            trace = tracing.finish_trace()
+        ids = [s["span_id"] for s in trace["spans"]]
+        assert len(ids) == len(set(ids))
+        validate_trace(trace)
+
+
+# ---------------------------------------------------------------------------
+# Pipeline instrumentation + determinism
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    spec_source = __import__(
+        "repro.programs.registry", fromlist=["PROGRAMS"]
+    ).PROGRAMS["adi"].source_fn(n=32, dtype="real", maxiter=2)
+    config = AssistantConfig.from_dict({"nprocs": 4})
+    untraced = run_assistant(spec_source, config)
+    tracing.start_trace("test")
+    try:
+        traced = run_assistant(spec_source, config)
+    finally:
+        trace = tracing.finish_trace()
+    return untraced, traced, trace
+
+
+class TestPipelineInstrumentation:
+    def test_traced_results_identical(self, traced_run):
+        untraced, traced, _ = traced_run
+        assert traced.selection.selection == untraced.selection.selection
+        assert traced.selection.objective == untraced.selection.objective
+
+    def test_all_stages_have_spans(self, traced_run):
+        _, _, trace = traced_run
+        names = {s["name"] for s in trace["spans"]}
+        for stage in ("frontend", "partition", "alignment",
+                      "distribution", "estimation", "selection"):
+            assert f"stage:{stage}" in names
+        assert "pipeline" in names
+
+    def test_ilp_solves_carry_model_sizes(self, traced_run):
+        _, _, trace = traced_run
+        solves = spans_by_name(trace, "ilp.solve")
+        assert solves
+        for span in solves:
+            assert span["attrs"]["variables"] > 0
+            assert span["attrs"]["constraints"] > 0
+            assert span["attrs"]["status"] == "optimal"
+
+    def test_distribution_counts(self, traced_run):
+        _, traced, trace = traced_run
+        phases = spans_by_name(trace, "distribution.phase")
+        kept = sum(s["attrs"]["kept"] for s in phases)
+        assert kept == traced.layout_spaces.total_candidates()
+        for span in phases:
+            assert (span["attrs"]["generated"]
+                    == span["attrs"]["pruned"] + span["attrs"]["kept"])
+
+    def test_selection_choice_events(self, traced_run):
+        _, traced, trace = traced_run
+        choices = [e for _s, e in iter_events(trace, "selection.choice")]
+        assert len(choices) == len(traced.selection.selection)
+        for event in choices:
+            attrs = event["attrs"]
+            sel = traced.selection.selection[attrs["phase"]]
+            assert attrs["position"] == sel
+            assert attrs["costs_us"][attrs["position"]] == attrs[
+                "node_cost_us"
+            ]
+
+    def test_chrome_export(self, traced_run):
+        _, _, trace = traced_run
+        chrome = to_chrome_trace(trace)
+        validate_chrome_trace(chrome)
+        complete = [e for e in chrome["traceEvents"] if e["ph"] == "X"]
+        assert len(complete) == len(trace["spans"])
+
+    def test_provenance_report(self, traced_run):
+        _, traced, trace = traced_run
+        report = build_provenance(trace)
+        assert report["objective_us"] == pytest.approx(
+            traced.selection.objective
+        )
+        assert len(report["phases"]) == len(traced.selection.selection)
+        text = format_provenance(report)
+        assert "decision provenance" in text
+        assert "phase 0" in text
+
+
+# ---------------------------------------------------------------------------
+# Prometheus exposition
+
+
+class TestPrometheus:
+    def _stats(self):
+        with LayoutService(
+            pool=WorkerPool(kind="serial"), use_cache=False
+        ) as service:
+            request = LayoutRequest.from_dict(
+                {"program": "adi", "size": 32, "procs": 4, "maxiter": 2}
+            )
+            response = service.analyze(request)
+            assert response.ok
+            return service.stats(), service.prometheus()
+
+    def test_render_parses_back(self):
+        stats, text = self._stats()
+        samples = parse_prometheus_text(text)
+        assert samples[("repro_counter_total",
+                        (("name", "requests_ok"),))] == 1.0
+        assert samples[("repro_pool_active_kind",
+                        (("kind", "serial"),))] == 1.0
+        assert ("repro_uptime_seconds", ()) in samples
+
+    def test_stage_and_span_histograms_present(self):
+        _stats, text = self._stats()
+        samples = parse_prometheus_text(text)
+        names = {name for name, _labels in samples}
+        assert "repro_stage_seconds_bucket" in names
+        assert "repro_stage_seconds_quantile" in names
+        assert "repro_span_seconds_bucket" in names
+        # every histogram ends with the +Inf bucket equal to _count
+        count = samples[("repro_stage_seconds_count",
+                         (("stage", "frontend"),))]
+        inf = samples[("repro_stage_seconds_bucket",
+                       (("le", "+Inf"), ("stage", "frontend")))]
+        assert inf == count
+
+    def test_parser_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("not a metric line at all {")
+
+
+# ---------------------------------------------------------------------------
+# CLI: explain / stats / analyze --trace (satellite coverage)
+
+
+class TestObservabilityCLI:
+    def test_analyze_trace_flags(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.json"
+        chrome_path = tmp_path / "c.json"
+        rc = cli_main([
+            "analyze", "--program", "adi", "--size", "32", "--procs", "4",
+            "--trace", str(trace_path),
+            "--trace-chrome", str(chrome_path),
+        ])
+        assert rc == 0
+        trace = load_trace(str(trace_path))
+        assert spans_by_name(trace, "pipeline")
+        validate_chrome_trace(json.loads(chrome_path.read_text()))
+
+    def test_explain_text(self, capsys):
+        rc = cli_main([
+            "explain", "--program", "adi", "--size", "32", "--procs", "4",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "decision provenance" in out
+        assert "phase 0" in out
+
+    def test_explain_json(self, capsys):
+        rc = cli_main([
+            "explain", "--program", "adi", "--size", "32", "--procs", "4",
+            "--json",
+        ])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema"] == "repro.obs/provenance/v1"
+        assert report["phases"]
+
+    def test_stats_prometheus(self, capsys):
+        rc = cli_main([
+            "stats", "--program", "adi", "--size", "32", "--procs", "4",
+            "--prometheus",
+        ])
+        assert rc == 0
+        samples = parse_prometheus_text(capsys.readouterr().out)
+        assert ("repro_counter_total",
+                (("name", "requests_total"),)) in samples
+
+    def test_log_level_flag_accepted(self, capsys):
+        rc = cli_main([
+            "--log-level", "error",
+            "analyze", "--program", "adi", "--size", "32", "--procs", "4",
+        ])
+        assert rc == 0
+
+
+# ---------------------------------------------------------------------------
+# Logging plumbing (satellite 3)
+
+
+class TestLogging:
+    def test_get_logger_prefixes(self):
+        assert get_logger("service").name == "repro.service"
+        assert get_logger("repro.cli").name == "repro.cli"
+
+    def test_configure_is_idempotent(self):
+        first = configure_logging("info")
+        second = configure_logging("debug")
+        assert first is second
+        assert len(second.handlers) == 1
