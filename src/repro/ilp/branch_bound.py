@@ -20,7 +20,16 @@ Strategy, on a depth-first stack:
 * **branching** — on the unfixed variable with the largest absolute
   objective coefficient, favourable value first.
 
-Deterministic: ties break on variable index.
+Deterministic *and canonical*: among equal-objective optima the solver
+returns the assignment that is lexicographically greatest in variable
+insertion order.  Subtrees whose bound merely *ties* the incumbent are
+therefore still explored (pruning requires a strict bound deficit), and a
+tying complete assignment replaces the incumbent exactly when it is
+lexicographically greater.  For selection-shaped models (one
+exactly-one group per phase, candidate 0 added first) this resolves
+equal-cost candidates to the earliest candidate of the earliest phase —
+stable under constraint reordering and coefficient jitter, and
+independent of which optimum the search happens to reach first.
 """
 
 from __future__ import annotations
@@ -231,7 +240,10 @@ def solve(
                 assign[v] = FREE
             continue
         cur = current_value()
-        if optimistic(cur) <= best_val + _EPS:
+        # Prune only on a strict bound deficit: subtrees that merely TIE
+        # the incumbent may hold the canonical (lexicographically
+        # greatest) optimum and must still be explored.
+        if optimistic(cur) < best_val - _EPS:
             for v in trail:
                 assign[v] = FREE
             continue
@@ -241,8 +253,12 @@ def solve(
                 branch_var = v
                 break
         if branch_var is None:
-            if cur > best_val + _EPS:
-                best_val = cur
+            if cur > best_val + _EPS or (
+                cur > best_val - _EPS
+                and best_assign is not None
+                and assign > best_assign
+            ):
+                best_val = max(best_val, cur)
                 best_assign = assign.copy()
             for v in trail:
                 assign[v] = FREE

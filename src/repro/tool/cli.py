@@ -13,6 +13,8 @@ Usage examples::
     autolayout request --program adi --size 256 --procs 16
     autolayout service stats
     autolayout service metrics
+    repro fuzz --cases 200 --seed 0
+    repro fuzz --budget 60s --out /tmp/fuzz-failures
 
 ``analyze`` runs the four framework steps and prints the selected layout
 (``--trace``/``--trace-chrome`` record the run's span trace); ``explain``
@@ -22,7 +24,8 @@ snapshot (``--prometheus`` for text exposition); ``compare`` also
 measures every promising scheme on the simulated machine; ``summary``
 reproduces the paper's aggregate statistics over the test-case grids;
 ``serve`` starts the long-lived layout service and ``request`` /
-``service`` talk to it over its JSON protocol.
+``service`` talk to it over its JSON protocol; ``fuzz`` runs the
+differential-oracle fuzzer (``repro`` is an alias of this entry point).
 """
 
 from __future__ import annotations
@@ -335,6 +338,88 @@ def cmd_service(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_budget(text: str) -> float:
+    """Parse a wall-clock budget like ``60s``, ``2m`` or plain seconds."""
+    text = text.strip().lower()
+    factor = 1.0
+    if text.endswith("s"):
+        text = text[:-1]
+    elif text.endswith("m"):
+        text, factor = text[:-1], 60.0
+    try:
+        value = float(text) * factor
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad budget {text!r}: expected e.g. 60s, 2m or 90"
+        )
+    if value <= 0:
+        raise argparse.ArgumentTypeError("budget must be positive")
+    return value
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Run a differential-oracle fuzz campaign (see ``repro.qa``)."""
+    from ..qa import ALL_CHECKS, GeneratorConfig, run_fuzz
+
+    config = GeneratorConfig(
+        max_arrays=args.max_arrays,
+        max_rank=args.max_rank,
+        max_phases=args.max_phases,
+        size=args.size or 8,
+    )
+    if args.oracle_scope:
+        config = config.small()
+    assistant_config = AssistantConfig(
+        nprocs=args.procs,
+        machine=MACHINES[args.machine],
+        ilp_backend=args.backend,
+    )
+    checks = args.checks if args.checks else None
+    if checks is not None:
+        unknown = sorted(set(checks) - set(ALL_CHECKS))
+        if unknown:
+            logger.error("unknown checks: %s (known: %s)",
+                         ", ".join(unknown), ", ".join(ALL_CHECKS))
+            return 2
+
+    def progress(case_seed: int, report) -> None:
+        if report.cases_run and report.cases_run % 50 == 0:
+            logger.info("fuzz: %d cases, %d failures",
+                        report.cases_run, len(report.failures))
+
+    def campaign():
+        return run_fuzz(
+            seed=args.seed,
+            cases=args.cases,
+            budget_seconds=args.budget,
+            config=config,
+            assistant_config=assistant_config,
+            checks=checks,
+            minimize=not args.no_minimize,
+            out_dir=args.out,
+            progress=progress,
+        )
+
+    if args.trace:
+        from ..obs import tracing
+        from ..obs.events import write_trace
+
+        tracing.start_trace("fuzz")
+        try:
+            report = campaign()
+        finally:
+            trace = tracing.finish_trace()
+        write_trace(trace, args.trace)
+        logger.info("wrote trace to %s", args.trace)
+    else:
+        report = campaign()
+
+    print(report.summary())
+    if report.failures and args.out:
+        print(f"repro cases written to {args.out}")
+    return 0 if report.ok else 1
+
+
 def cmd_summary(args: argparse.Namespace) -> int:
     programs = args.programs or sorted(PROGRAMS)
     results = []
@@ -463,6 +548,42 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_service.add_argument("--json", action="store_true",
                            help="print the raw JSON stats")
     p_service.set_defaults(func=cmd_service)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="run the differential-oracle fuzzer over generated programs",
+    )
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="base seed; case i uses seed + i")
+    p_fuzz.add_argument("--cases", type=int,
+                        help="number of cases to run")
+    p_fuzz.add_argument("--budget", type=_parse_budget,
+                        help="wall-clock budget, e.g. 60s or 2m "
+                             "(default when --cases is absent: 100 cases)")
+    p_fuzz.add_argument("--out", help="write minimized repro cases here")
+    p_fuzz.add_argument("--checks", nargs="*",
+                        help="subset of checks to run (default: all)")
+    p_fuzz.add_argument("--no-minimize", action="store_true",
+                        help="skip failure minimization")
+    p_fuzz.add_argument("--max-arrays", type=int, default=3)
+    p_fuzz.add_argument("--max-rank", type=int, default=3)
+    p_fuzz.add_argument("--max-phases", type=int, default=4)
+    p_fuzz.add_argument("--size", type=int,
+                        help="declared array extent n (default 8)")
+    p_fuzz.add_argument("--no-oracle-scope", dest="oracle_scope",
+                        action="store_false",
+                        help="allow instances beyond the exhaustive-oracle "
+                             "scope (oracle checks skip oversized cases)")
+    p_fuzz.add_argument("--procs", type=int, default=4,
+                        help="number of processors for the pipeline")
+    p_fuzz.add_argument("--machine", choices=sorted(MACHINES),
+                        default="ipsc860")
+    p_fuzz.add_argument("--backend", choices=["scipy", "branch-bound"],
+                        default="scipy", help="0-1 solver backend under test")
+    p_fuzz.add_argument("--trace",
+                        help="record the campaign's span trace to this "
+                             "JSON file")
+    p_fuzz.set_defaults(func=cmd_fuzz)
 
     p_summary = sub.add_parser(
         "summary", help="run test-case grids and print the summary table"

@@ -1,0 +1,17 @@
+program fuzz0
+      implicit none
+      integer n
+      parameter (n = 8)
+      integer i, j, k, t, t2, t3
+      real a(n, n), b(n)
+      real s
+      do j = 1, n
+        b(n - j + 1) = b(2) * (b(j + 2) + 2.0)
+      enddo
+      do k = 1, n
+        b(k + 2) = a(j - 2, 7) + b(k + 2) * 4.0
+      enddo
+      do j = 1, n
+        b(j - 2) = a(i + 2, j + 2) + a(j + 1, 6) * 4.0
+      enddo
+      end

@@ -1,0 +1,11 @@
+program fuzz2
+      implicit none
+      integer n
+      parameter (n = 8)
+      integer i, j, k, t, t2, t3
+      real a(n)
+      real s
+      do i = 1, n
+        a(i) = a(i - 1) + 7.0
+      enddo
+      end

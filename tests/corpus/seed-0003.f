@@ -1,0 +1,14 @@
+program fuzz3
+      implicit none
+      integer n
+      parameter (n = 8)
+      integer i, j, k, t, t2, t3
+      real a(n, n, n)
+      real s
+      do k = 1, n
+        a(i + 2, j - 1, k - 2) = 1.0
+      enddo
+      do k = 1, n
+        a(i + 1, j - 2, k + 1) = 2.0
+      enddo
+      end

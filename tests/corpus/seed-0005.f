@@ -1,0 +1,11 @@
+program fuzz5
+      implicit none
+      integer n
+      parameter (n = 8)
+      integer i, j, k, t, t2, t3
+      real a(n, n)
+      real s
+      do k = 1, n
+        a(n - j + 1, k - 1) = a(8, n - k + 1) + a(4, k - 1) * 7.0
+      enddo
+      end

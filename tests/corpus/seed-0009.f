@@ -1,0 +1,17 @@
+program fuzz9
+      implicit none
+      integer n
+      parameter (n = 8)
+      integer i, j, k, t, t2, t3
+      real a(n, n, n), b(n, n)
+      real s
+      do j = 1, n
+        b(j + 2, 1) = 7.0
+      enddo
+      do k = 1, n
+        b(7, k - 1) = 1.0
+      enddo
+      do k = 1, n
+        a(n - i + 1, j - 1, k - 2) = a(3, i + 2, k - 2) * (a(i + 2, j + 1, 4) + 3.0)
+      enddo
+      end

@@ -1,0 +1,24 @@
+program fuzz11
+      implicit none
+      integer n
+      parameter (n = 8)
+      integer i, j, k, t, t2, t3
+      real a(n, n, n), b(n, n)
+      real s
+      do k = 1, n
+        b(j + 2, k + 2) = b(k - 2, 2) * (b(j + 1, k + 1) + 4.0)
+      enddo
+      do k = 1, n
+        a(i, j, k + 1) = 2.0
+      enddo
+      do k = 1, n
+        a(8, n - j + 1, k + 1) = 9.0
+      enddo
+      do i = 1, n
+        do j = 1, n
+          do k = 1, n
+            b(j + 2, k - 2) = 1.0
+          enddo
+        enddo
+      enddo
+      end

@@ -1,0 +1,17 @@
+program fuzz12
+      implicit none
+      integer n
+      parameter (n = 8)
+      integer i, j, k, t, t2, t3
+      real a(n, n), b(n, n, n)
+      real s
+      do j = 1, n
+        b(i + 1, j + 2, j - 2) = b(j - 1, 6, i - 2) + 3.0
+      enddo
+      do k = 1, n
+        a(j + 1, k - 2) = 7.0
+      enddo
+      do k = 1, n
+        a(j + 2, k + 1) = b(i, n - j + 1, k) * (b(i - 2, j - 2, k) * 7.0)
+      enddo
+      end

@@ -1,0 +1,17 @@
+program fuzz16
+      implicit none
+      integer n
+      parameter (n = 8)
+      integer i, j, k, t, t2, t3
+      real a(n, n), b(n, n)
+      real s
+      do j = 1, n
+        a(i + 2, j - 2) = b(i, j - 2) * 8.0
+      enddo
+      do j = 1, n
+        b(i, j - 2) = a(i, j - 2) + 9.0
+      enddo
+      do k = 1, n
+        b(j + 1, 8) = a(3, k + 1) * 2.0
+      enddo
+      end

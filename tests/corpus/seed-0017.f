@@ -1,0 +1,17 @@
+program fuzz17
+      implicit none
+      integer n
+      parameter (n = 8)
+      integer i, j, k, t, t2, t3
+      real a(n, n), b(n, n), c(n, n)
+      real s
+      do k = 1, n
+        b(j - 2, k - 2) = c(n - j + 1, k + 2) * 9.0
+      enddo
+      do j = 1, n
+        b(i, j) = b(i - 2, j) * (c(i - 2, j) + 2.0)
+      enddo
+      do k = 1, n
+        a(j + 2, k + 1) = a(j, k - 2) + (c(n - j + 1, k - 1) + 8.0)
+      enddo
+      end

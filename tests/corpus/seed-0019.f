@@ -1,0 +1,14 @@
+program fuzz19
+      implicit none
+      integer n
+      parameter (n = 8)
+      integer i, j, k, t, t2, t3
+      real b(n, n, n), c(n)
+      real s
+      do k = 1, n
+        b(i, j, k - 2) = 4.0
+      enddo
+      do i = 1, n
+        c(i - 1) = b(n - i + 1, i - 2, i + 1) + (c(n - i + 1) + 9.0)
+      enddo
+      end

@@ -1,0 +1,20 @@
+program fuzz26
+      implicit none
+      integer n
+      parameter (n = 8)
+      integer i, j, k, t, t2, t3
+      real a(n), b(n, n, n), c(n)
+      real s
+      do k = 1, n
+        a(k + 1) = a(k + 1) + c(k - 1) * 1.0
+      enddo
+      do i = 1, n
+        a(n - i + 1) = b(5, i + 2, n - i + 1) + 8.0
+      enddo
+      do i = 1, n
+        b(i + 2, i - 2, i) = a(i + 1) + 2.0
+      enddo
+      do j = 1, n
+        c(j - 2) = c(n - j + 1) * (b(i + 1, j - 2, j - 1) + 3.0)
+      enddo
+      end

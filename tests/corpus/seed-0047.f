@@ -1,0 +1,20 @@
+program fuzz47
+      implicit none
+      integer n
+      parameter (n = 8)
+      integer i, j, k, t, t2, t3
+      real a(n), b(n, n)
+      real s
+      do j = 1, n
+        b(i - 1, 6) = b(i, 4) * (b(i - 1, j - 2) + 6.0)
+      enddo
+      do j = 1, n
+        b(i, j - 1) = b(5, j + 1) * 9.0
+      enddo
+      do k = 1, n
+        a(k) = 9.0
+      enddo
+      do j = 1, n
+        a(8) = a(j + 2) * 7.0
+      enddo
+      end

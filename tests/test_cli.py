@@ -79,3 +79,41 @@ class TestArgErrors:
     def test_command_required(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestFuzz:
+    def test_fuzz_small_campaign_ok(self, capsys):
+        rc = main(["fuzz", "--cases", "5", "--seed", "0"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "5 cases" in out
+        assert "OK" in out
+
+    def test_fuzz_check_subset(self, capsys):
+        rc = main(["fuzz", "--cases", "3", "--seed", "1",
+                   "--checks", "roundtrip"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "roundtrip" in out
+        assert "selection-oracle" not in out
+
+    def test_fuzz_unknown_check_rejected(self):
+        rc = main(["fuzz", "--cases", "1", "--checks", "nonsense"])
+        assert rc == 2
+
+    def test_fuzz_budget_parsing_rejects_garbage(self):
+        with pytest.raises(SystemExit):
+            main(["fuzz", "--budget", "soon"])
+
+    def test_fuzz_trace_records_case_spans(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "fuzz.json"
+        rc = main(["fuzz", "--cases", "2", "--seed", "0",
+                   "--checks", "roundtrip", "pipeline",
+                   "--trace", str(trace_path)])
+        assert rc == 0
+        trace = json.loads(trace_path.read_text())
+        names = [span["name"] for span in trace["spans"]]
+        assert names.count("fuzz.case") == 2
+        assert "fuzz.campaign" in names

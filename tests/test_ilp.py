@@ -147,6 +147,75 @@ def test_unknown_backend():
         solve(m, backend="cplex")
 
 
+class TestCanonicalTieBreaking:
+    """Among equal-objective optima, branch-bound must return the
+    lexicographically greatest assignment in variable insertion order —
+    for selection-shaped models that is the earliest candidate of every
+    exactly-one group (regression for fuzzer-surfaced nondeterminism)."""
+
+    @staticmethod
+    def _selection_model(costs, reverse_constraints=False):
+        m = ZeroOneModel(sense=MINIMIZE)
+        constraints = []
+        objective = {}
+        for p, row in enumerate(costs):
+            for c, cost in enumerate(row):
+                objective[m.add_var(f"x:{p}:{c}")] = cost
+            constraints.append(
+                {f"x:{p}:{c}": 1.0 for c in range(len(row))}
+            )
+        if reverse_constraints:
+            constraints.reverse()
+        for coeffs in constraints:
+            m.add_constraint(coeffs, "==", 1.0)
+        m.set_objective(objective)
+        return m
+
+    def test_equal_cost_candidates_resolve_to_earliest(self):
+        m = self._selection_model([[5.0, 5.0], [3.0, 3.0]])
+        sol = solve(m, backend="branch-bound")
+        assert sol.objective == 8.0
+        assert sol.values == {"x:0:0": 1, "x:0:1": 0,
+                              "x:1:0": 1, "x:1:1": 0}
+
+    def test_branch_order_magnitude_does_not_leak(self):
+        # Branching visits the |7| variables first, so the first optimum
+        # found selects them — the canonical rule must still upgrade to
+        # the lexicographically greatest tie (candidate 0 everywhere).
+        m = self._selection_model([[5.0, 5.0], [7.0, 7.0]])
+        sol = solve(m, backend="branch-bound")
+        assert sol.objective == 12.0
+        assert sol.values["x:0:0"] == 1
+        assert sol.values["x:1:0"] == 1
+
+    def test_stable_under_constraint_reordering(self):
+        costs = [[4.0, 4.0, 6.0], [2.0, 2.0, 2.0]]
+        a = solve(self._selection_model(costs), backend="branch-bound")
+        b = solve(
+            self._selection_model(costs, reverse_constraints=True),
+            backend="branch-bound",
+        )
+        assert a.objective == b.objective == 6.0
+        assert a.values == b.values
+
+    def test_repeated_solves_identical(self):
+        m = self._selection_model([[1.0, 1.0], [1.0, 1.0], [1.0, 1.0]])
+        first = solve(m, backend="branch-bound")
+        for _ in range(3):
+            again = solve(m, backend="branch-bound")
+            assert again.values == first.values
+
+    def test_maximize_ties_also_canonical(self):
+        m = ZeroOneModel(sense=MAXIMIZE)
+        for name in ("a", "b"):
+            m.add_var(name)
+        m.add_constraint({"a": 1, "b": 1}, "==", 1)
+        m.set_objective({"a": 4.0, "b": 4.0})
+        sol = solve(m, backend="branch-bound")
+        assert sol.objective == 4.0
+        assert sol.values == {"a": 1, "b": 0}
+
+
 @st.composite
 def random_model(draw):
     n = draw(st.integers(min_value=1, max_value=6))

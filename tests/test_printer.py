@@ -109,6 +109,39 @@ class TestProgramRoundTrip:
             assert pa.arrays == pb.arrays
 
 
+class TestGeneratedRoundTrip:
+    """Property satellite of the QA fuzzer: for every generated program,
+    parse(print(ast)) equals the normalized ast and printing is a
+    fixpoint."""
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_parse_print_inverts_generator(self, seed):
+        from repro.qa import generate_program, normalize_program
+
+        case = generate_program(seed)
+        reparsed = parse_source(case.source)
+        assert normalize_program(reparsed) == normalize_program(case.program)
+        assert format_program(reparsed) == case.source
+
+    def test_round_trip_with_wide_configs(self):
+        from repro.qa import (
+            GeneratorConfig,
+            generate_program,
+            normalize_program,
+        )
+
+        config = GeneratorConfig(
+            max_arrays=6, max_rank=3, max_phases=6, size=12,
+            p_control_loop=0.5, p_branch=0.4,
+        )
+        for seed in range(20):
+            case = generate_program(seed, config)
+            reparsed = parse_source(case.source)
+            assert normalize_program(reparsed) == normalize_program(
+                case.program
+            ), f"seed {seed}"
+
+
 class TestHPFWriter:
     @pytest.fixture(scope="class")
     def dynamic_result(self):

@@ -1,0 +1,109 @@
+"""Fuzz runner and metamorphic-invariant tests."""
+
+import pytest
+
+from repro.frontend.parser import parse_source
+from repro.qa import (
+    ALL_CHECKS,
+    GeneratorConfig,
+    add_unused_array,
+    generate_program,
+    rename_identifiers,
+    run_fuzz,
+    scale_size_parameter,
+)
+from repro.qa.metamorphic import METAMORPHIC_CHECKS, declared_arrays
+from repro.tool.assistant import AssistantConfig
+
+
+class TestTransforms:
+    def test_rename_is_bijective_and_parseable(self):
+        from repro.frontend.printer import format_program
+
+        case = generate_program(0)
+        arrays = declared_arrays(case.program)
+        mapping = {name: f"z{name}" for name in arrays}
+        renamed = rename_identifiers(case.program, mapping)
+        assert declared_arrays(renamed) == [f"z{a}" for a in arrays]
+        parse_source(format_program(renamed))
+        # renaming back restores the original tree
+        back = rename_identifiers(
+            renamed, {v: k for k, v in mapping.items()}
+        )
+        assert back == case.program
+
+    def test_scale_size_parameter(self):
+        from repro.frontend.printer import format_program
+
+        case = generate_program(0, GeneratorConfig(size=8))
+        scaled = scale_size_parameter(case.program, 3)
+        assert "parameter (n = 24)" in format_program(scaled)
+
+    def test_add_unused_array_appends_rank1_decl(self):
+        case = generate_program(0)
+        extended = add_unused_array(case.program)
+        assert "zunused" in declared_arrays(extended)
+        assert case.program.body == extended.body
+
+    def test_metamorphic_checks_pass_on_generated_programs(self):
+        config = AssistantConfig(nprocs=4)
+        for seed in (0, 5, 11):
+            case = generate_program(seed)
+            for name, check in METAMORPHIC_CHECKS.items():
+                violation = check(case.program, config)
+                assert violation is None, f"seed {seed} {name}: {violation}"
+
+
+class TestRunner:
+    def test_clean_campaign(self):
+        report = run_fuzz(seed=0, cases=8)
+        assert report.ok
+        assert report.cases_run == 8
+        assert report.checks_run["roundtrip"] == 8
+        for check in ALL_CHECKS:
+            assert check in report.checks_run
+
+    def test_campaign_is_deterministic(self):
+        a = run_fuzz(seed=3, cases=4, checks=["roundtrip", "pipeline"])
+        b = run_fuzz(seed=3, cases=4, checks=["roundtrip", "pipeline"])
+        assert a.checks_run == b.checks_run
+        assert [f.describe() for f in a.failures] \
+            == [f.describe() for f in b.failures]
+
+    def test_unknown_check_rejected(self):
+        with pytest.raises(ValueError):
+            run_fuzz(seed=0, cases=1, checks=["nonsense"])
+
+    def test_injected_failure_is_minimized_and_serialized(
+        self, tmp_path, monkeypatch
+    ):
+        # Corrupt the selection ILP builder process-wide: every case now
+        # diverges, exercising minimization and corpus serialization.
+        from repro.qa import oracles
+        from repro.selection.ilp import build_selection_model
+
+        def corrupted(graph):
+            ilp = build_selection_model(graph)
+            for var in ilp.model.variables:
+                if var.startswith("x:"):
+                    break
+            ilp.model.set_objective_coeff(var, 1e9)
+            return ilp
+
+        monkeypatch.setattr(
+            oracles, "build_selection_model", corrupted
+        )
+        report = run_fuzz(
+            seed=0, cases=3, checks=["selection-oracle"],
+            out_dir=str(tmp_path),
+        )
+        assert not report.ok
+        failure = report.failures[0]
+        assert failure.check == "selection-oracle"
+        written = sorted(p.name for p in tmp_path.iterdir())
+        assert any(name.endswith(".f") for name in written)
+        assert any(name.endswith(".json") for name in written)
+
+    def test_budget_stops_campaign(self):
+        report = run_fuzz(seed=0, budget_seconds=0.0)
+        assert report.cases_run == 0

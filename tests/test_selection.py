@@ -160,6 +160,40 @@ class TestBaselines:
         assert sel == {0: 1, 1: 0}
         assert cost == 118.0  # honest evaluation includes the remap
 
+    def test_dp_matches_ilp_on_generated_chains(self):
+        # Differential satellite of the QA fuzzer: on straight-line
+        # (chain-remap) graphs — edges only between consecutive phases —
+        # the DP baseline is provably optimal, so it must equal the 0-1
+        # ILP optimum on every generated instance.
+        import random
+
+        for seed in range(50):
+            rng = random.Random(seed)
+            n_phases = rng.randint(1, 5)
+            node_costs = {
+                p: [float(rng.randint(0, 20))
+                    for _ in range(rng.randint(1, 3))]
+                for p in range(n_phases)
+            }
+            edges = {}
+            for p in range(n_phases - 1):
+                if rng.random() < 0.3:
+                    continue  # chains may skip an edge entirely
+                costs = {
+                    (i, j): float(rng.randint(1, 15))
+                    for i in range(len(node_costs[p]))
+                    for j in range(len(node_costs[p + 1]))
+                    if i != j or rng.random() < 0.2
+                }
+                if costs:
+                    edges[(p, p + 1)] = costs
+            graph = make_graph(node_costs, edges)
+            dp_sel, dp_cost = dp_selection(graph)
+            ilp = select_layouts(graph)
+            assert dp_cost == pytest.approx(ilp.objective), f"seed {seed}"
+            # the DP certificate must itself evaluate to its claimed cost
+            assert graph.evaluate(dp_sel) == pytest.approx(dp_cost)
+
     def test_dp_optimal_on_chains(self):
         graph = make_graph(
             {0: [5.0, 1.0], 1: [1.0, 5.0], 2: [5.0, 1.0]},
