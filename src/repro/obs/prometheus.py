@@ -186,6 +186,12 @@ def render_prometheus(
             "Wall time of trace spans (seconds)",
             "span", name, snap,
         )
+    for name, snap in sorted(stats.get("bench_seconds", {}).items()):
+        _add_histogram(
+            registry, "bench_seconds",
+            "Wall time of benchmark repetitions (seconds)",
+            "bench", name, snap,
+        )
 
     gauges = registry.family("gauge", "gauge", "Service gauges")
     for name, value in sorted(stats.get("gauges", {}).items()):

@@ -58,12 +58,19 @@ NULL_SPAN = _NullSpan()
 
 @dataclass
 class SpanRecord:
-    """One span: a named wall-time interval with attributes and events."""
+    """One span: a named wall-time interval with attributes and events.
+
+    ``start_us`` is epoch microseconds, but it is *derived*: the tracer
+    samples the wall clock exactly once at creation and every span start
+    is that anchor plus a ``perf_counter`` offset, so a wall-clock
+    adjustment mid-trace can never reorder spans or produce negative
+    child offsets.
+    """
 
     span_id: str
     parent_id: Optional[str]
     name: str
-    start_us: int  # wall-clock epoch microseconds
+    start_us: int  # epoch anchor + perf_counter offset, microseconds
     duration_us: int = 0
     attrs: Dict[str, Any] = field(default_factory=dict)
     events: List[Dict[str, Any]] = field(default_factory=list)
@@ -115,7 +122,12 @@ class Tracer:
         #: parent assigned to top-level spans (set for worker-side
         #: tracers so their spans nest under the dispatching span)
         self.root_parent_id = root_parent_id
+        # Epoch anchor: the wall clock is read exactly once, here.  All
+        # span start times are this anchor plus a monotonic
+        # perf_counter offset, so they share one consistent timeline
+        # even if the system clock steps mid-trace.
         self.created_us = int(time.time() * 1e6)
+        self._epoch_pc = time.perf_counter()
         self._id_prefix = id_prefix
         self._counter = itertools.count(1)
         self._prefix_counter = itertools.count(0)
@@ -129,13 +141,16 @@ class Tracer:
               attrs: Dict[str, Any]) -> SpanRecord:
         with self._lock:
             span_id = f"{self._id_prefix}{next(self._counter):x}"
+        t0 = time.perf_counter()
         return SpanRecord(
             span_id=span_id,
             parent_id=parent_id,
             name=name,
-            start_us=int(time.time() * 1e6),
+            start_us=self.created_us + max(
+                int((t0 - self._epoch_pc) * 1e6), 0
+            ),
             attrs=dict(attrs),
-            _t0=time.perf_counter(),
+            _t0=t0,
         )
 
     def finish(self, record: SpanRecord) -> None:

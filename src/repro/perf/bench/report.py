@@ -1,0 +1,125 @@
+"""Bench result rendering and metrics export.
+
+Text tables for the terminal, plus the bridge into the observability
+stack: every repetition of every benchmark is folded into the service's
+:class:`~repro.service.metrics.Metrics` registry as a
+``bench_seconds``-family histogram (the same shape as the request-path
+``span_seconds`` aggregates), which then renders through the one
+Prometheus exposition in :mod:`repro.obs.prometheus`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, Union
+
+from ...obs.prometheus import render_prometheus
+from ...service.metrics import Metrics
+from .regress import RegressionReport
+from .timer import Measurement
+
+ResultLike = Union[Measurement, Mapping[str, Any]]
+
+
+def _row(result: ResultLike) -> Mapping[str, Any]:
+    return result.to_dict() if isinstance(result, Measurement) else result
+
+
+def format_run(results: Mapping[str, ResultLike]) -> str:
+    """Fixed-width table of one suite run."""
+    lines = [
+        f"{'benchmark':<32} {'min':>10} {'median':>10} {'mad':>9} "
+        f"{'peak mem':>10} {'reps':>5}"
+    ]
+    for bench_id in sorted(results):
+        row = _row(results[bench_id])
+        lines.append(
+            f"{bench_id:<32} {row['min_s'] * 1e3:>8.2f}ms "
+            f"{row['median_s'] * 1e3:>8.2f}ms "
+            f"{row['mad_s'] * 1e3:>7.2f}ms "
+            f"{row.get('peak_bytes', 0) / 1024:>6.0f}KiB "
+            f"{row['reps']:>5}"
+        )
+    return "\n".join(lines)
+
+
+def format_compare(report: RegressionReport) -> str:
+    """Comparison table plus a one-line gate verdict."""
+    lines = [
+        f"{'benchmark':<32} {'baseline':>10} {'current':>10} "
+        f"{'ratio':>7}  status"
+    ]
+    for v in report.verdicts:
+        base = f"{v.base_min_s * 1e3:.2f}ms" if v.base_min_s else "-"
+        cur = f"{v.cur_min_s * 1e3:.2f}ms" if v.cur_min_s else "-"
+        ratio = f"{v.ratio:.2f}x" if v.status not in (
+            "new", "missing"
+        ) else "-"
+        lines.append(
+            f"{v.bench_id:<32} {base:>10} {cur:>10} {ratio:>7}  {v.status}"
+        )
+    regressions = report.regressions
+    if regressions:
+        lines.append("")
+        for v in regressions:
+            lines.append(f"REGRESSION {v.bench_id}: {v.detail}")
+        lines.append(
+            f"gate: FAIL ({len(regressions)} regression"
+            f"{'s' if len(regressions) != 1 else ''})"
+        )
+    else:
+        lines.append(f"gate: ok ({len(report.verdicts)} benchmarks)")
+    return "\n".join(lines)
+
+
+def results_to_metrics(
+    results: Mapping[str, ResultLike], metrics: Optional[Metrics] = None
+) -> Metrics:
+    """Fold every repetition into ``bench_seconds`` histograms."""
+    metrics = metrics or Metrics()
+    for bench_id in sorted(results):
+        row = _row(results[bench_id])
+        for seconds in row.get("times_s", []):
+            metrics.observe_bench(bench_id, float(seconds))
+    return metrics
+
+
+def render_bench_prometheus(
+    results: Mapping[str, ResultLike], namespace: str = "repro"
+) -> str:
+    """Bench results as Prometheus text exposition (histograms plus
+    per-benchmark min/peak-memory gauges)."""
+    metrics = results_to_metrics(results)
+    snapshot = metrics.snapshot()
+    # The bench registry has no service counters/uptime to report.
+    stats = {"bench_seconds": snapshot["bench_seconds"]}
+    text = render_prometheus(stats, namespace=namespace)
+    extra = [
+        f"# HELP {namespace}_bench_min_seconds Min-of-N benchmark time",
+        f"# TYPE {namespace}_bench_min_seconds gauge",
+    ]
+    for bench_id in sorted(results):
+        row = _row(results[bench_id])
+        label = bench_id.replace("\\", "\\\\").replace('"', '\\"')
+        extra.append(
+            f'{namespace}_bench_min_seconds{{bench="{label}"}} '
+            f"{row['min_s']!r}"
+        )
+    extra.extend([
+        f"# HELP {namespace}_bench_peak_bytes "
+        "Peak allocation delta of one repetition",
+        f"# TYPE {namespace}_bench_peak_bytes gauge",
+    ])
+    for bench_id in sorted(results):
+        row = _row(results[bench_id])
+        label = bench_id.replace("\\", "\\\\").replace('"', '\\"')
+        extra.append(
+            f'{namespace}_bench_peak_bytes{{bench="{label}"}} '
+            f"{int(row.get('peak_bytes', 0))}"
+        )
+    return text + "\n".join(extra) + "\n"
+
+
+__all__ = [
+    "format_compare", "format_run", "render_bench_prometheus",
+    "results_to_metrics",
+]

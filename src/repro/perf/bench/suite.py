@@ -1,0 +1,273 @@
+"""The deterministic benchmark suite: what ``repro bench`` actually times.
+
+Two benchmark kinds:
+
+- **stage benchmarks** (``stage:<stage>/<program>``) time one pipeline
+  stage in isolation, against inputs prepared once (untimed) by running
+  the preceding stages.  The seven stages mirror the cost structure the
+  paper reports on: parse, partition, CAG build, alignment ILP,
+  distribution enumeration, per-candidate estimation, selection ILP.
+  ``cag_build`` is deliberately a *sub*-measurement of ``alignment_ilp``
+  (the search-space heuristic rebuilds per-phase CAGs internally);
+  stage timings are comparable run-over-run, not disjoint.
+- **end-to-end benchmarks** (``e2e/<program>``) time ``run_assistant``
+  whole, plus ``e2e/qa-corpus``: a fixed-seed batch of generated fuzz
+  programs, exercising the many-small-programs service shape.
+
+Everything is deterministic by construction: bench sizes are pinned per
+program (the smallest grid size from EXPERIMENTS.md, so a full run stays
+interactive), QA programs come from fixed seeds, estimation runs serial
+(no worker pool), and benchmarks are collected in sorted order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from ...alignment.search_space import build_alignment_search_spaces
+from ...alignment.weights import build_phase_cag
+from ...machine.params import IPSC860, MachineParams
+from ...obs.tracing import span as obs_span
+from ...programs.registry import PROGRAMS
+from ...qa.generator import GeneratorConfig, generate_program
+from ...tool.assistant import (
+    AssistantConfig,
+    run_assistant,
+    stage_alignment,
+    stage_distribution,
+    stage_estimation,
+    stage_frontend,
+    stage_partition,
+    stage_selection,
+)
+from .timer import DEFAULT_REPEATS, DEFAULT_WARMUP, Measurement, measure
+
+#: the seven benchmarked pipeline stages, in pipeline order
+STAGE_NAMES = (
+    "parse", "partition", "cag_build", "alignment_ilp", "distribution",
+    "estimation", "selection_ilp",
+)
+
+#: pinned per-program bench problem sizes (smallest grid size each, so
+#: the whole suite runs in seconds; changing these invalidates baselines)
+BENCH_SIZES: Dict[str, int] = {
+    "adi": 200,
+    "erlebacher": 28,
+    "tomcatv": 72,
+    "shallow": 136,
+}
+
+#: pinned processor count for every benchmark
+BENCH_NPROCS = 8
+
+#: fixed seeds of the generated QA-corpus batch
+QA_SEEDS = (0, 1, 2, 3)
+
+
+def default_bench_config(
+    machine: MachineParams = IPSC860, backend: str = "scipy"
+) -> AssistantConfig:
+    return AssistantConfig(
+        nprocs=BENCH_NPROCS, machine=machine, ilp_backend=backend
+    )
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One runnable benchmark: a stable ID plus a zero-arg thunk."""
+
+    bench_id: str
+    kind: str  # "stage" | "e2e"
+    program: str
+    stage: Optional[str]
+    fn: Callable[[], Any]
+
+
+class PreparedProgram:
+    """One program's pipeline inputs, computed once and shared by all of
+    its stage benchmarks (preparation is untimed)."""
+
+    def __init__(self, name: str, source: str, config: AssistantConfig):
+        self.name = name
+        self.source = source
+        self.config = config
+        self.program, self.symbols = stage_frontend(source)
+        self.partition, self.pcfg, self.template = stage_partition(
+            self.program, self.symbols, config
+        )
+        self.alignment_spaces = stage_alignment(
+            self.partition, self.pcfg, self.symbols, self.template, config
+        )
+        self.layout_spaces = stage_distribution(
+            self.partition, self.alignment_spaces, self.template,
+            self.symbols, config,
+        )
+        self.estimates, self.db = stage_estimation(
+            self.partition, self.layout_spaces, self.symbols, config
+        )
+
+
+def bench_source(name: str, size: Optional[int] = None) -> str:
+    """The pinned benchmark source text of one paper program."""
+    spec = PROGRAMS[name]
+    kwargs: Dict[str, Any] = {
+        "n": size if size is not None else BENCH_SIZES[name],
+        "dtype": spec.default_dtype,
+    }
+    if spec.has_time_loop:
+        kwargs["maxiter"] = 3
+    return spec.source_fn(**kwargs)
+
+
+def _stage_cases(prep: PreparedProgram) -> List[BenchCase]:
+    """The seven per-stage benchmarks of one prepared program."""
+    config = prep.config
+
+    def run_parse() -> None:
+        stage_frontend(prep.source)
+
+    def run_partition() -> None:
+        stage_partition(prep.program, prep.symbols, config)
+
+    def run_cag_build() -> None:
+        for phase in prep.partition.phases:
+            build_phase_cag(phase, prep.symbols)
+
+    def run_alignment_ilp() -> None:
+        build_alignment_search_spaces(
+            prep.partition.phases, prep.pcfg, prep.symbols, prep.template,
+            backend=config.ilp_backend,
+        )
+
+    def run_distribution() -> None:
+        stage_distribution(
+            prep.partition, prep.alignment_spaces, prep.template,
+            prep.symbols, config,
+        )
+
+    def run_estimation() -> None:
+        stage_estimation(
+            prep.partition, prep.layout_spaces, prep.symbols, config
+        )
+
+    def run_selection_ilp() -> None:
+        stage_selection(
+            prep.partition, prep.pcfg, prep.estimates, prep.symbols,
+            prep.db, config,
+        )
+
+    thunks = {
+        "parse": run_parse,
+        "partition": run_partition,
+        "cag_build": run_cag_build,
+        "alignment_ilp": run_alignment_ilp,
+        "distribution": run_distribution,
+        "estimation": run_estimation,
+        "selection_ilp": run_selection_ilp,
+    }
+    return [
+        BenchCase(
+            bench_id=f"stage:{stage}/{prep.name}",
+            kind="stage",
+            program=prep.name,
+            stage=stage,
+            fn=thunks[stage],
+        )
+        for stage in STAGE_NAMES
+    ]
+
+
+def _e2e_case(prep: PreparedProgram) -> BenchCase:
+    def run_e2e() -> None:
+        run_assistant(prep.source, prep.config)
+
+    return BenchCase(
+        bench_id=f"e2e/{prep.name}", kind="e2e", program=prep.name,
+        stage=None, fn=run_e2e,
+    )
+
+
+def _qa_corpus_case(config: AssistantConfig,
+                    seeds: Sequence[int]) -> BenchCase:
+    """One benchmark that runs the whole pipeline over a fixed-seed batch
+    of generated programs (the fuzzing / many-small-requests shape)."""
+    gen_config = GeneratorConfig().small()
+    sources = [
+        generate_program(seed, gen_config).source for seed in seeds
+    ]
+    qa_config = AssistantConfig(
+        nprocs=4, machine=config.machine, ilp_backend=config.ilp_backend
+    )
+
+    def run_batch() -> None:
+        for source in sources:
+            run_assistant(source, qa_config)
+
+    return BenchCase(
+        bench_id="e2e/qa-corpus", kind="e2e", program="qa-corpus",
+        stage=None, fn=run_batch,
+    )
+
+
+def build_suite(
+    programs: Optional[Sequence[str]] = None,
+    config: Optional[AssistantConfig] = None,
+    stages: Optional[Sequence[str]] = None,
+    include_e2e: bool = True,
+    include_qa: bool = True,
+    qa_seeds: Sequence[int] = QA_SEEDS,
+    sizes: Optional[Mapping[str, int]] = None,
+) -> List[BenchCase]:
+    """Collect the benchmark suite (preparation runs here, untimed)."""
+    config = config or default_bench_config()
+    names = list(programs) if programs else sorted(BENCH_SIZES)
+    wanted_stages = tuple(stages) if stages else STAGE_NAMES
+    unknown = sorted(set(wanted_stages) - set(STAGE_NAMES))
+    if unknown:
+        raise ValueError(
+            f"unknown stages {unknown}; known: {list(STAGE_NAMES)}"
+        )
+    cases: List[BenchCase] = []
+    for name in names:
+        if name not in PROGRAMS:
+            raise ValueError(
+                f"unknown program {name!r}; known: {sorted(PROGRAMS)}"
+            )
+        size = (sizes or {}).get(name, BENCH_SIZES.get(name))
+        with obs_span("bench.prepare", program=name, size=size):
+            prep = PreparedProgram(name, bench_source(name, size), config)
+        cases.extend(
+            c for c in _stage_cases(prep) if c.stage in wanted_stages
+        )
+        if include_e2e:
+            cases.append(_e2e_case(prep))
+    if include_e2e and include_qa:
+        cases.append(_qa_corpus_case(config, qa_seeds))
+    return sorted(cases, key=lambda c: c.bench_id)
+
+
+def run_suite(
+    cases: Sequence[BenchCase],
+    repeats: int = DEFAULT_REPEATS,
+    warmup: int = DEFAULT_WARMUP,
+    memory: bool = True,
+    progress: Optional[Callable[[BenchCase, Measurement], None]] = None,
+) -> Dict[str, Measurement]:
+    """Measure every case; returns ``{bench_id: Measurement}`` sorted."""
+    results: Dict[str, Measurement] = {}
+    for case in cases:
+        with obs_span("bench.case", bench=case.bench_id, kind=case.kind):
+            m = measure(case.bench_id, case.fn, repeats=repeats,
+                        warmup=warmup, memory=memory)
+        results[case.bench_id] = m
+        if progress is not None:
+            progress(case, m)
+    return dict(sorted(results.items()))
+
+
+__all__ = [
+    "BENCH_NPROCS", "BENCH_SIZES", "BenchCase", "PreparedProgram",
+    "QA_SEEDS", "STAGE_NAMES", "bench_source", "build_suite",
+    "default_bench_config", "run_suite",
+]

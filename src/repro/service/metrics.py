@@ -104,7 +104,12 @@ class Metrics:
         self._cache: Dict[str, Dict[str, int]] = {}
         self._stage_seconds: Dict[str, Histogram] = {}
         self._span_seconds: Dict[str, Histogram] = {}
+        self._bench_seconds: Dict[str, Histogram] = {}
         self.started_at = time.time()
+        # Uptime is measured on the monotonic clock so it can never go
+        # negative or jump when the system clock is adjusted;
+        # ``started_at`` stays wall-clock for display only.
+        self._started_monotonic = time.monotonic()
 
     # -- recording -------------------------------------------------------
 
@@ -137,6 +142,15 @@ class Metrics:
                 hist = self._span_seconds[name] = Histogram()
             hist.observe(seconds)
 
+    def observe_bench(self, name: str, seconds: float) -> None:
+        """Fold one benchmark repetition into the bench aggregates (the
+        ``repro bench`` harness exports its results through here)."""
+        with self._lock:
+            hist = self._bench_seconds.get(name)
+            if hist is None:
+                hist = self._bench_seconds[name] = Histogram()
+            hist.observe(seconds)
+
     # -- reading ---------------------------------------------------------
 
     def counter(self, name: str) -> int:
@@ -161,7 +175,7 @@ class Metrics:
         with self._lock:
             hits, misses = self._cache_totals_locked()
             return {
-                "uptime_seconds": time.time() - self.started_at,
+                "uptime_seconds": time.monotonic() - self._started_monotonic,
                 "counters": dict(self._counters),
                 "gauges": dict(self._gauges),
                 "cache": {
@@ -179,5 +193,9 @@ class Metrics:
                 "span_seconds": {
                     name: hist.snapshot()
                     for name, hist in sorted(self._span_seconds.items())
+                },
+                "bench_seconds": {
+                    name: hist.snapshot()
+                    for name, hist in sorted(self._bench_seconds.items())
                 },
             }

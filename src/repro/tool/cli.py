@@ -15,6 +15,9 @@ Usage examples::
     autolayout service metrics
     repro fuzz --cases 200 --seed 0
     repro fuzz --budget 60s --out /tmp/fuzz-failures
+    repro bench run --label baseline
+    repro bench gate --baseline baseline
+    repro bench profile --bench stage:alignment_ilp/adi
 
 ``analyze`` runs the four framework steps and prints the selected layout
 (``--trace``/``--trace-chrome`` record the run's span trace); ``explain``
@@ -25,7 +28,9 @@ measures every promising scheme on the simulated machine; ``summary``
 reproduces the paper's aggregate statistics over the test-case grids;
 ``serve`` starts the long-lived layout service and ``request`` /
 ``service`` talk to it over its JSON protocol; ``fuzz`` runs the
-differential-oracle fuzzer (``repro`` is an alias of this entry point).
+differential-oracle fuzzer; ``bench`` drives the deterministic
+benchmark harness and regression gate over ``BENCH_<label>.json``
+baselines (``repro`` is an alias of this entry point).
 """
 
 from __future__ import annotations
@@ -420,6 +425,204 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _bench_trace_scope(args: argparse.Namespace):
+    """Context manager running a bench command under tracing when
+    ``--trace`` / ``--trace-chrome`` were given (no-op otherwise)."""
+    import contextlib
+
+    @contextlib.contextmanager
+    def scope():
+        trace_path = getattr(args, "trace", None)
+        chrome_path = getattr(args, "trace_chrome", None)
+        if not trace_path and not chrome_path:
+            yield
+            return
+        from ..obs import tracing
+
+        tracing.start_trace("bench")
+        try:
+            yield
+        finally:
+            trace = tracing.finish_trace()
+            if trace_path:
+                from ..obs.events import write_trace
+
+                write_trace(trace, trace_path)
+                logger.info("wrote trace to %s", trace_path)
+            if chrome_path:
+                from ..obs.chrome import write_chrome_trace
+
+                write_chrome_trace(trace, chrome_path)
+                logger.info("wrote Chrome trace to %s", chrome_path)
+
+    return scope()
+
+
+def _bench_run_suite(args: argparse.Namespace):
+    """Build and run the suite as the given bench flags request;
+    returns ``{bench_id: Measurement}``."""
+    from ..perf import bench as perfbench
+
+    config = perfbench.default_bench_config(
+        machine=MACHINES[args.machine], backend=args.backend
+    )
+    cases = perfbench.build_suite(
+        programs=args.programs or None,
+        config=config,
+        stages=args.stages or None,
+        include_e2e=not args.no_e2e,
+        include_qa=not args.no_qa,
+    )
+
+    def progress(case, m) -> None:
+        logger.info("bench %-32s min %.2fms (mad %.3fms)",
+                    case.bench_id, m.min_s * 1e3, m.mad_s * 1e3)
+
+    return perfbench.run_suite(
+        cases, repeats=args.repeats, warmup=args.warmup,
+        memory=not args.no_memory, progress=progress,
+    )
+
+
+def _bench_baseline_path(args: argparse.Namespace) -> str:
+    """Resolve ``--baseline`` (a label or an explicit path) to a path."""
+    import os
+
+    from ..perf import bench as perfbench
+
+    baseline = args.baseline
+    if os.path.sep in baseline or os.path.exists(baseline):
+        return baseline
+    return perfbench.bench_path(baseline, args.root)
+
+
+def cmd_bench_run(args: argparse.Namespace) -> int:
+    import json
+
+    from ..perf import bench as perfbench
+
+    with _bench_trace_scope(args):
+        results = _bench_run_suite(args)
+    meta = perfbench.run_meta(
+        args.repeats, args.warmup,
+        programs=args.programs or sorted(perfbench.BENCH_SIZES),
+    )
+    path = None
+    if not args.no_write:
+        path = perfbench.append_run(
+            results, args.label, root=args.root, meta=meta
+        )
+        logger.info("appended run to %s", path)
+    if args.prometheus:
+        with open(args.prometheus, "w", encoding="utf-8") as handle:
+            handle.write(perfbench.render_bench_prometheus(results))
+        logger.info("wrote Prometheus exposition to %s", args.prometheus)
+    if args.json:
+        record = perfbench.new_run(results, meta=meta)
+        record["bench_file"] = path
+        print(json.dumps(record, indent=2, sort_keys=True))
+    else:
+        print(perfbench.format_run(results))
+        if path:
+            print(f"baseline trajectory: {path}")
+    return 0
+
+
+def _bench_compare(args: argparse.Namespace):
+    """Shared body of ``bench compare`` and ``bench gate``."""
+    from ..perf import bench as perfbench
+
+    base_path = _bench_baseline_path(args)
+    base = perfbench.latest_results(
+        perfbench.load_bench_file(base_path)
+    )
+    if args.current:
+        current = perfbench.latest_results(
+            perfbench.load_bench_file(args.current)
+        )
+    else:
+        with _bench_trace_scope(args):
+            current = _bench_run_suite(args)
+    thresholds = perfbench.Thresholds(
+        max_ratio=args.max_ratio,
+        mad_sigmas=args.mad_sigmas,
+        min_slowdown_s=args.min_slowdown,
+        per_bench=perfbench.parse_threshold_overrides(
+            args.threshold or []
+        ),
+    )
+    return perfbench.compare_results(base, current, thresholds)
+
+
+def cmd_bench_compare(args: argparse.Namespace) -> int:
+    import json
+
+    from ..perf import bench as perfbench
+
+    report = _bench_compare(args)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(perfbench.format_compare(report))
+    return 0
+
+
+def cmd_bench_gate(args: argparse.Namespace) -> int:
+    import json
+
+    from ..perf import bench as perfbench
+
+    report = _bench_compare(args)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(perfbench.format_compare(report))
+    if not report.ok:
+        logger.error("bench gate failed: %d regression(s)",
+                     len(report.regressions))
+        return 1
+    return 0
+
+
+def cmd_bench_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from ..perf import bench as perfbench
+
+    config = perfbench.default_bench_config(
+        machine=MACHINES[args.machine], backend=args.backend
+    )
+    with _bench_trace_scope(args):
+        cases = perfbench.build_suite(
+            programs=args.programs or None,
+            config=config,
+            stages=args.stages or None,
+            include_e2e=not args.no_e2e,
+            include_qa=not args.no_qa,
+        )
+        wanted = args.bench or []
+        if wanted:
+            cases = [
+                c for c in cases
+                if any(pat in c.bench_id for pat in wanted)
+            ]
+            if not cases:
+                logger.error("no benchmarks match %s", wanted)
+                return 2
+        profiles = [
+            perfbench.profile_call(c.bench_id, c.fn, limit=args.limit)
+            for c in cases
+        ]
+    if args.json:
+        print(json.dumps([p.to_dict() for p in profiles], indent=2,
+                         sort_keys=True))
+    else:
+        print("\n\n".join(
+            perfbench.format_profile(p) for p in profiles
+        ))
+    return 0
+
+
 def cmd_summary(args: argparse.Namespace) -> int:
     programs = args.programs or sorted(PROGRAMS)
     results = []
@@ -584,6 +787,96 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="record the campaign's span trace to this "
                              "JSON file")
     p_fuzz.set_defaults(func=cmd_fuzz)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="deterministic benchmark harness and regression gate",
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+
+    def _add_bench_common(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--programs", nargs="*",
+                            choices=sorted(PROGRAMS),
+                            help="paper programs to bench (default: all)")
+        parser.add_argument("--stages", nargs="*",
+                            help="pipeline stages to bench (default: all)")
+        parser.add_argument("--repeats", type=int, default=5,
+                            help="timed repetitions per benchmark")
+        parser.add_argument("--warmup", type=int, default=1,
+                            help="untimed warmup repetitions")
+        parser.add_argument("--no-memory", action="store_true",
+                            help="skip the tracemalloc memory repetition")
+        parser.add_argument("--no-e2e", action="store_true",
+                            help="skip the end-to-end benchmarks")
+        parser.add_argument("--no-qa", action="store_true",
+                            help="skip the generated QA-corpus benchmark")
+        parser.add_argument("--machine", choices=sorted(MACHINES),
+                            default="ipsc860")
+        parser.add_argument("--backend",
+                            choices=["scipy", "branch-bound"],
+                            default="scipy")
+        parser.add_argument("--root", default=".",
+                            help="directory holding BENCH_*.json files")
+        parser.add_argument("--json", action="store_true",
+                            help="print machine-readable JSON")
+        parser.add_argument("--trace",
+                            help="record the bench run's span trace here")
+        parser.add_argument("--trace-chrome",
+                            help="also export a chrome://tracing file")
+
+    def _add_bench_thresholds(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--baseline", required=True,
+                            help="baseline label or BENCH_*.json path")
+        parser.add_argument("--current",
+                            help="compare a recorded BENCH_*.json instead "
+                                 "of running the suite")
+        parser.add_argument("--max-ratio", type=float, default=1.5,
+                            help="slowdown ratio that fails the gate")
+        parser.add_argument("--mad-sigmas", type=float, default=4.0,
+                            help="noise band width in MADs")
+        parser.add_argument("--min-slowdown", type=float, default=1e-4,
+                            help="absolute slowdown floor in seconds")
+        parser.add_argument("--threshold", action="append",
+                            metavar="BENCH=RATIO",
+                            help="per-benchmark ratio override "
+                                 "(repeatable)")
+
+    pb_run = bench_sub.add_parser(
+        "run", help="run the suite and append to BENCH_<label>.json"
+    )
+    _add_bench_common(pb_run)
+    pb_run.add_argument("--label", default="baseline",
+                        help="baseline label (file: BENCH_<label>.json)")
+    pb_run.add_argument("--no-write", action="store_true",
+                        help="do not write the trajectory file")
+    pb_run.add_argument("--prometheus",
+                        help="write Prometheus text exposition here")
+    pb_run.set_defaults(func=cmd_bench_run)
+
+    pb_compare = bench_sub.add_parser(
+        "compare", help="compare a run against a stored baseline"
+    )
+    _add_bench_common(pb_compare)
+    _add_bench_thresholds(pb_compare)
+    pb_compare.set_defaults(func=cmd_bench_compare)
+
+    pb_gate = bench_sub.add_parser(
+        "gate",
+        help="like compare, but exit 1 on a significant regression",
+    )
+    _add_bench_common(pb_gate)
+    _add_bench_thresholds(pb_gate)
+    pb_gate.set_defaults(func=cmd_bench_gate)
+
+    pb_profile = bench_sub.add_parser(
+        "profile", help="cProfile hot-function summaries per benchmark"
+    )
+    _add_bench_common(pb_profile)
+    pb_profile.add_argument("--bench", nargs="*",
+                            help="substring filters on benchmark IDs")
+    pb_profile.add_argument("--limit", type=int, default=10,
+                            help="hot functions to show per benchmark")
+    pb_profile.set_defaults(func=cmd_bench_profile)
 
     p_summary = sub.add_parser(
         "summary", help="run test-case grids and print the summary table"

@@ -1,0 +1,543 @@
+"""Benchmark harness tests: timer protocol, baseline store schema,
+regression detector, ``repro bench`` CLI gate exits, metrics export.
+
+The detector tests run on synthetic timing series (no real timing in the
+assertions), so they are deterministic; the CLI tests run a real but
+tiny suite (one program, two cheap stages) against a temp directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.obs.prometheus import parse_prometheus_text
+from repro.perf.bench import (
+    BENCH_SCHEMA,
+    BENCH_SIZES,
+    BenchValidationError,
+    Measurement,
+    RegressionReport,
+    Thresholds,
+    append_run,
+    bench_path,
+    build_suite,
+    compare_results,
+    discover,
+    latest_results,
+    load_bench_file,
+    mad,
+    measure,
+    median,
+    new_run,
+    parse_threshold_overrides,
+    profile_call,
+    render_bench_prometheus,
+    results_to_metrics,
+    run_suite,
+    validate_bench_file,
+)
+from repro.perf.bench.suite import STAGE_NAMES
+from repro.service.metrics import Metrics
+from repro.tool.cli import main as cli_main
+
+REPO_ROOT = os.path.join(os.path.dirname(__file__), "..")
+
+
+def _measurement(name, times, peak=1024, warmup=1):
+    return Measurement(name=name, times_s=list(times), warmup=warmup,
+                       peak_bytes=peak)
+
+
+# ---------------------------------------------------------------------------
+# Timer protocol
+
+
+class TestTimer:
+    def test_median_and_mad(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        assert median([4.0, 1.0, 2.0, 3.0]) == 2.5
+        assert mad([1.0, 1.0, 1.0]) == 0.0
+        assert mad([1.0, 2.0, 9.0]) == 1.0
+
+    def test_measure_counts_warmup_and_reps(self):
+        calls = []
+        result = measure("t", lambda: calls.append(1), repeats=3,
+                         warmup=2, memory=False)
+        # 2 warmup + 3 timed, no memory repetition
+        assert len(calls) == 5
+        assert result.reps == 3
+        assert result.warmup == 2
+        assert result.peak_bytes == 0
+
+    def test_measure_memory_repetition(self):
+        sink = []
+        result = measure("t", lambda: sink.append(bytearray(256 * 1024)),
+                         repeats=1, warmup=0, memory=True)
+        assert result.peak_bytes >= 256 * 1024
+
+    def test_measure_with_fake_timer_is_exact(self):
+        ticks = iter([0.0, 1.0, 10.0, 12.0, 20.0, 23.0])
+        result = measure("t", lambda: None, repeats=3, warmup=0,
+                         memory=False, timer=lambda: next(ticks))
+        assert result.times_s == [1.0, 2.0, 3.0]
+        assert result.min_s == 1.0
+        assert result.median_s == 2.0
+        assert result.mad_s == 1.0
+
+    def test_measurement_round_trip(self):
+        m = _measurement("x", [0.5, 0.25, 0.75], peak=4096, warmup=2)
+        data = m.to_dict()
+        back = Measurement.from_dict("x", data)
+        assert back.to_dict() == data
+        assert back.min_s == 0.25
+
+    def test_measure_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            measure("t", lambda: None, repeats=0)
+        with pytest.raises(ValueError):
+            measure("t", lambda: None, warmup=-1)
+
+
+# ---------------------------------------------------------------------------
+# Baseline store
+
+
+class TestBaselineStore:
+    def test_append_creates_and_extends_trajectory(self, tmp_path):
+        results = {"stage:parse/adi": _measurement("stage:parse/adi",
+                                                   [0.01, 0.02])}
+        path = append_run(results, "test", root=str(tmp_path))
+        assert path == bench_path("test", str(tmp_path))
+        path2 = append_run(results, "test", root=str(tmp_path))
+        assert path2 == path
+        data = load_bench_file(path)
+        assert data["schema"] == BENCH_SCHEMA
+        assert [run["run_id"] for run in data["runs"]] == [1, 2]
+        assert latest_results(data)["stage:parse/adi"]["min_s"] == 0.01
+
+    def test_trajectory_cap_drops_oldest(self, tmp_path):
+        results = {"b": _measurement("b", [0.01])}
+        for _ in range(5):
+            append_run(results, "cap", root=str(tmp_path), max_runs=3)
+        data = load_bench_file(bench_path("cap", str(tmp_path)))
+        assert [run["run_id"] for run in data["runs"]] == [3, 4, 5]
+
+    def test_append_creates_missing_root_directory(self, tmp_path):
+        root = tmp_path / "nested" / "bench"
+        results = {"stage:parse/adi": _measurement("stage:parse/adi",
+                                                   [0.01, 0.02])}
+        path = append_run(results, "fresh", root=str(root))
+        assert load_bench_file(path)["runs"][0]["run_id"] == 1
+
+    def test_discover_finds_labels(self, tmp_path):
+        append_run({"b": _measurement("b", [0.01])}, "one",
+                   root=str(tmp_path))
+        append_run({"b": _measurement("b", [0.01])}, "two",
+                   root=str(tmp_path))
+        (tmp_path / "not_a_bench.json").write_text("{}")
+        assert sorted(discover(str(tmp_path))) == ["one", "two"]
+
+    def test_bad_label_rejected(self):
+        with pytest.raises(ValueError):
+            bench_path("../evil")
+
+    @pytest.mark.parametrize("mutate, message", [
+        (lambda d: d.update(schema="nope"), "schema"),
+        (lambda d: d.update(runs=[]), "non-empty"),
+        (lambda d: d["runs"][0].update(run_id="1"), "run_id"),
+        (lambda d: d["runs"][0]["results"].clear(), "results"),
+        (lambda d: d["runs"][0]["results"]["b"].pop("min_s"), "min_s"),
+        (lambda d: d["runs"][0]["results"]["b"].update(times_s=[1.0]),
+         "times_s"),
+        (lambda d: d["runs"][0]["results"]["b"].update(peak_bytes=-1),
+         "peak_bytes"),
+    ])
+    def test_validation_rejects_malformed(self, mutate, message):
+        data = {
+            "schema": BENCH_SCHEMA,
+            "label": "ok",
+            "runs": [new_run({"b": _measurement("b", [0.01, 0.02])})],
+        }
+        validate_bench_file(data)  # sane before mutation
+        mutate(data)
+        with pytest.raises(BenchValidationError, match=message):
+            validate_bench_file(data)
+
+    def test_committed_bench_files_validate(self):
+        """Schema/round-trip check on every BENCH_*.json at the repo
+        root (there is at least the committed baseline)."""
+        found = discover(REPO_ROOT)
+        assert "baseline" in found, "no committed BENCH_baseline.json"
+        for label, path in found.items():
+            data = load_bench_file(path)  # validates
+            rerendered = json.loads(json.dumps(data))
+            validate_bench_file(rerendered)
+
+    def test_committed_baseline_covers_stages_and_programs(self):
+        data = load_bench_file(bench_path("baseline", REPO_ROOT))
+        results = latest_results(data)
+        for program in sorted(BENCH_SIZES):
+            for stage in STAGE_NAMES:
+                bench_id = f"stage:{stage}/{program}"
+                assert bench_id in results, f"missing {bench_id}"
+                record = results[bench_id]
+                assert record["reps"] >= 3
+                assert record["min_s"] > 0
+                assert record["mad_s"] >= 0
+                assert record["peak_bytes"] > 0
+            assert f"e2e/{program}" in results
+        assert "e2e/qa-corpus" in results
+
+
+# ---------------------------------------------------------------------------
+# Regression detector (synthetic series)
+
+
+class TestRegressionDetector:
+    BASE = {"b": _measurement("b", [0.100, 0.101, 0.102])}
+
+    def test_injected_2x_slowdown_flagged(self):
+        current = {"b": _measurement("b", [0.200, 0.202, 0.201])}
+        report = compare_results(self.BASE, current)
+        assert not report.ok
+        [verdict] = report.regressions
+        assert verdict.bench_id == "b"
+        assert verdict.ratio == pytest.approx(2.0, rel=0.05)
+
+    def test_noop_rerun_passes(self):
+        current = {"b": _measurement("b", [0.101, 0.100, 0.103])}
+        report = compare_results(self.BASE, current)
+        assert report.ok
+        assert report.verdicts[0].status == "ok"
+
+    def test_noisy_series_not_flagged(self):
+        # 2x on the min, but the repetitions scatter so widely that the
+        # slowdown sits inside the noise band.
+        base = {"b": _measurement("b", [0.100, 0.400, 0.900])}
+        current = {"b": _measurement("b", [0.200, 0.600, 1.100])}
+        report = compare_results(base, current)
+        assert report.ok
+
+    def test_sub_jitter_slowdown_ignored(self):
+        # 3x ratio but a 20µs absolute delta: below the jitter floor.
+        base = {"b": _measurement("b", [0.00001, 0.00001])}
+        current = {"b": _measurement("b", [0.00003, 0.00003])}
+        report = compare_results(base, current)
+        assert report.ok
+
+    def test_improvement_reported_not_failed(self):
+        current = {"b": _measurement("b", [0.040, 0.041, 0.040])}
+        report = compare_results(self.BASE, current)
+        assert report.ok
+        assert report.verdicts[0].status == "improved"
+
+    def test_new_and_missing_do_not_fail(self):
+        base = {"gone": _measurement("gone", [0.1])}
+        current = {"fresh": _measurement("fresh", [0.1])}
+        report = compare_results(base, current)
+        assert report.ok
+        assert {v.status for v in report.verdicts} == {"new", "missing"}
+
+    def test_per_bench_override_loosens_one_threshold(self):
+        current = {"b": _measurement("b", [0.200, 0.201, 0.202])}
+        thresholds = Thresholds(per_bench={"b": 3.0})
+        report = compare_results(self.BASE, current, thresholds)
+        assert report.ok
+        strict = compare_results(self.BASE, current, Thresholds())
+        assert not strict.ok
+
+    def test_report_round_trips_to_dict(self):
+        current = {"b": _measurement("b", [0.200, 0.202, 0.201])}
+        report = compare_results(self.BASE, current)
+        data = json.loads(json.dumps(report.to_dict()))
+        assert data["ok"] is False
+        assert data["regressions"] == 1
+        assert data["verdicts"][0]["status"] == "regression"
+
+    def test_threshold_override_parsing(self):
+        assert parse_threshold_overrides(["a=2.0", "b/c=1.5"]) == {
+            "a": 2.0, "b/c": 1.5,
+        }
+        with pytest.raises(ValueError):
+            parse_threshold_overrides(["missing-ratio"])
+        with pytest.raises(ValueError):
+            parse_threshold_overrides(["a=0.9"])
+
+
+# ---------------------------------------------------------------------------
+# Suite construction (real, but tiny problem sizes)
+
+
+class TestSuite:
+    def test_suite_covers_seven_stages(self):
+        cases = build_suite(programs=["tomcatv"], sizes={"tomcatv": 32},
+                            include_e2e=False, include_qa=False)
+        stages = {c.stage for c in cases}
+        assert stages == set(STAGE_NAMES)
+        assert len(STAGE_NAMES) == 7
+        assert all(c.bench_id.startswith("stage:") for c in cases)
+
+    def test_suite_ids_are_sorted_and_deterministic(self):
+        cases = build_suite(programs=["tomcatv"], sizes={"tomcatv": 32})
+        ids = [c.bench_id for c in cases]
+        assert ids == sorted(ids)
+        again = [c.bench_id for c in build_suite(
+            programs=["tomcatv"], sizes={"tomcatv": 32})]
+        assert ids == again
+
+    def test_run_suite_produces_measurements(self):
+        cases = build_suite(programs=["tomcatv"], sizes={"tomcatv": 32},
+                            stages=["parse", "cag_build"],
+                            include_e2e=False, include_qa=False)
+        results = run_suite(cases, repeats=2, warmup=1, memory=True)
+        assert set(results) == {c.bench_id for c in cases}
+        for m in results.values():
+            assert m.reps == 2
+            assert m.min_s > 0
+            assert m.peak_bytes > 0
+
+    def test_unknown_stage_or_program_rejected(self):
+        with pytest.raises(ValueError, match="unknown stages"):
+            build_suite(programs=["adi"], stages=["nope"])
+        with pytest.raises(ValueError, match="unknown program"):
+            build_suite(programs=["nope"])
+
+
+# ---------------------------------------------------------------------------
+# Profiling hooks
+
+
+class TestProfiling:
+    def test_profile_attaches_hot_functions(self):
+        def workload():
+            return sorted(range(2000), key=lambda x: -x)
+
+        result = profile_call("w", workload, limit=5)
+        assert result.hot, "no hot functions captured"
+        assert len(result.hot) <= 5
+        assert result.total_s >= 0
+        data = result.to_dict()
+        assert data["hot"][0]["cumtime_s"] >= data["hot"][-1]["cumtime_s"]
+
+    def test_profile_records_span_event(self):
+        from repro.obs import tracing
+
+        tracing.start_trace("t")
+        try:
+            profile_call("w", lambda: sum(range(100)))
+        finally:
+            trace = tracing.finish_trace()
+        spans = [s for s in trace["spans"] if s["name"] == "bench.profile"]
+        assert spans
+        events = [e for e in spans[0]["events"]
+                  if e["name"] == "profile.hot"]
+        assert events and events[0]["attrs"]["functions"]
+
+
+# ---------------------------------------------------------------------------
+# Metrics / Prometheus export
+
+
+class TestBenchMetricsExport:
+    RESULTS = {
+        "stage:parse/adi": _measurement("stage:parse/adi",
+                                        [0.010, 0.012, 0.011]),
+        "e2e/adi": _measurement("e2e/adi", [0.5, 0.6]),
+    }
+
+    def test_results_fold_into_bench_seconds(self):
+        metrics = results_to_metrics(self.RESULTS)
+        snap = metrics.snapshot()
+        assert snap["bench_seconds"]["stage:parse/adi"]["count"] == 3
+        assert snap["bench_seconds"]["e2e/adi"]["count"] == 2
+
+    def test_prometheus_exposition_parses(self):
+        text = render_bench_prometheus(self.RESULTS)
+        samples = parse_prometheus_text(text)
+        names = {name for name, _ in samples}
+        assert "repro_bench_seconds_bucket" in names
+        assert samples[(
+            "repro_bench_seconds_count", (("bench", "e2e/adi"),)
+        )] == 2.0
+        assert samples[(
+            "repro_bench_min_seconds", (("bench", "stage:parse/adi"),)
+        )] == pytest.approx(0.010)
+        assert samples[(
+            "repro_bench_peak_bytes", (("bench", "e2e/adi"),)
+        )] == 1024.0
+
+    def test_observe_bench_in_service_metrics(self):
+        metrics = Metrics()
+        metrics.observe_bench("b", 0.25)
+        snap = metrics.snapshot()
+        assert snap["bench_seconds"]["b"]["count"] == 1
+
+
+# ---------------------------------------------------------------------------
+# CLI: run / compare / gate / profile (tiny suite, temp root)
+
+
+def _run_args(tmp_path, *extra):
+    return [
+        "--log-level", "error", "bench", *extra,
+        "--programs", "tomcatv",
+        "--stages", "parse", "alignment_ilp",
+        "--repeats", "2", "--warmup", "1",
+        "--no-e2e", "--no-qa", "--root", str(tmp_path),
+    ]
+
+
+class TestBenchCLI:
+    def test_run_writes_trajectory(self, tmp_path, capsys):
+        rc = cli_main(_run_args(tmp_path, "run", "--label", "t"))
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "stage:alignment_ilp/tomcatv" in out
+        data = load_bench_file(bench_path("t", str(tmp_path)))
+        assert len(data["runs"]) == 1
+        assert data["runs"][0]["meta"]["repeats"] == 2
+
+    def test_run_json_output(self, tmp_path, capsys):
+        rc = cli_main(_run_args(tmp_path, "run", "--label", "t",
+                                "--json"))
+        assert rc == 0
+        record = json.loads(capsys.readouterr().out)
+        assert "stage:parse/tomcatv" in record["results"]
+
+    def test_gate_passes_on_noop_rerun(self, tmp_path, capsys):
+        assert cli_main(_run_args(tmp_path, "run", "--label", "t")) == 0
+        capsys.readouterr()
+        rc = cli_main(_run_args(tmp_path, "gate", "--baseline", "t"))
+        assert rc == 0
+        assert "gate: ok" in capsys.readouterr().out
+
+    def test_gate_fails_on_seeded_alignment_regression(self, tmp_path,
+                                                       capsys):
+        """Acceptance: a 2x slowdown injected into the alignment-ILP
+        stage must trip the gate."""
+        assert cli_main(_run_args(tmp_path, "run", "--label", "t")) == 0
+        path = bench_path("t", str(tmp_path))
+        # Gate the recorded run against a halved copy of itself: ratio
+        # is exactly 2.0 regardless of machine load, and a zeroed MAD on
+        # the doctored bench keeps the noise band from masking it.
+        current = str(tmp_path / "current.json")
+        cur_data = json.load(open(path))
+        cur_rec = cur_data["runs"][-1]["results"]
+        cur_rec["stage:alignment_ilp/tomcatv"]["mad_s"] = 0.0
+        json.dump(cur_data, open(current, "w"))
+        data = json.load(open(path))
+        record = data["runs"][-1]["results"]["stage:alignment_ilp/tomcatv"]
+        for key in ("min_s", "median_s", "mean_s"):
+            record[key] /= 2.0
+        record["times_s"] = [t / 2.0 for t in record["times_s"]]
+        record["mad_s"] = 0.0
+        json.dump(data, open(path, "w"))
+        capsys.readouterr()
+        rc = cli_main(_run_args(
+            tmp_path, "gate", "--baseline", "t", "--current", current
+        ))
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION stage:alignment_ilp/tomcatv" in out
+
+    def test_gate_against_recorded_current_file(self, tmp_path, capsys):
+        assert cli_main(_run_args(tmp_path, "run", "--label", "t")) == 0
+        current = str(tmp_path / "BENCH_t.json")
+        rc = cli_main(_run_args(
+            tmp_path, "gate", "--baseline", "t", "--current", current
+        ))
+        # identical files: every ratio is exactly 1.0
+        assert rc == 0
+        capsys.readouterr()
+        report_rc = cli_main(_run_args(
+            tmp_path, "compare", "--baseline", "t", "--current", current,
+            "--json",
+        ))
+        assert report_rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+
+    def test_profile_subcommand(self, tmp_path, capsys):
+        rc = cli_main(_run_args(tmp_path, "profile", "--bench",
+                                "stage:parse", "--limit", "3"))
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "stage:parse/tomcatv" in out
+        assert "cumtime" in out
+
+    def test_run_emits_trace_and_prometheus(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "bench.trace.json")
+        prom_path = str(tmp_path / "bench.prom")
+        rc = cli_main(_run_args(
+            tmp_path, "run", "--label", "t", "--no-write",
+            "--trace", trace_path, "--prometheus", prom_path,
+        ))
+        assert rc == 0
+        from repro.obs.events import load_trace
+
+        trace = load_trace(trace_path)
+        names = {s["name"] for s in trace["spans"]}
+        assert {"bench.prepare", "bench.case", "bench.measure"} <= names
+        samples = parse_prometheus_text(open(prom_path).read())
+        assert any(name == "repro_bench_seconds_bucket"
+                   for name, _ in samples)
+
+
+# ---------------------------------------------------------------------------
+# Summary-grid consistency (satellite)
+
+
+class TestSummaryGrid:
+    def _payload(self):
+        return [{
+            "case": "adi/real/200/p2",
+            "tool_optimal": False,
+            "loss_percent": 10.0,
+            "best": "row",
+            "schemes": {
+                "row": {"est_us": 90.0, "meas_us": 100.0},
+                "column": {"est_us": 130.0, "meas_us": 140.0},
+                "tool": {"est_us": 90.0, "meas_us": 110.0},
+            },
+        }]
+
+    def test_valid_payload_builds_rows(self):
+        from repro.tool.report import validate_summary_grid
+
+        [row] = validate_summary_grid(self._payload())
+        assert row.program == "adi"
+        assert row.cases == 1
+        assert row.tool_optimal == 0
+        assert row.worst_loss_percent == pytest.approx(10.0)
+        assert row.best_scheme_counts == {"row": 1}
+        assert row.rankings_correct == 1
+
+    @pytest.mark.parametrize("mutate", [
+        lambda p: p[0].update(best="column"),       # not measured-best
+        lambda p: p[0].update(loss_percent=55.0),   # inconsistent loss
+        lambda p: p[0].update(tool_optimal=True),   # optimal with loss
+        lambda p: p[0]["schemes"].pop("tool"),      # tool row required
+        lambda p: p[0].update(case="nocase"),       # malformed label
+    ])
+    def test_inconsistent_payload_rejected(self, mutate):
+        from repro.tool.report import validate_summary_grid
+
+        payload = self._payload()
+        mutate(payload)
+        with pytest.raises(ValueError):
+            validate_summary_grid(payload)
+
+    def test_committed_grid_consistent_with_report(self):
+        from repro.tool.report import format_summary, validate_summary_grid
+
+        path = os.path.join(REPO_ROOT, "results", "summary_grid.json")
+        payload = json.load(open(path))
+        rows = validate_summary_grid(payload)
+        assert sum(r.cases for r in rows) == len(payload)
+        table = format_summary(rows)
+        assert "TOTAL" in table
+        for row in rows:
+            assert row.program in table

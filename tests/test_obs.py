@@ -180,6 +180,50 @@ class TestTracing:
         write_trace(trace, path)
         assert load_trace(path) == trace
 
+    def test_start_us_immune_to_wall_clock_steps(self, monkeypatch):
+        """The wall clock is sampled once per trace: a clock step after
+        tracer creation must not skew later spans' start_us (satellite:
+        timestamp skew fix)."""
+        import time as time_mod
+
+        tracer = tracing.Tracer(name="t")
+        anchor = tracer.created_us
+        # A wall-clock step of -1000s mid-trace...
+        monkeypatch.setattr(
+            time_mod, "time", lambda: (anchor / 1e6) - 1000.0
+        )
+        record = tracer.begin("late", None, {})
+        tracer.finish(record)
+        # ...does not drag start_us back before the trace anchor.
+        assert record.start_us >= anchor
+
+    def test_span_starts_are_monotonic_within_a_trace(self):
+        tracing.start_trace("t")
+        try:
+            with tracing.span("first"):
+                pass
+            with tracing.span("second"):
+                pass
+        finally:
+            trace = tracing.finish_trace()
+        (first,) = spans_by_name(trace, "first")
+        (second,) = spans_by_name(trace, "second")
+        assert second["start_us"] >= first["start_us"]
+        # children can never start before their trace's anchor
+        for span in trace["spans"]:
+            assert span["start_us"] >= trace["created_us"]
+
+    def test_metrics_uptime_uses_monotonic_clock(self):
+        """Uptime must survive wall-clock adjustments (satellite:
+        monotonic uptime fix)."""
+        metrics = Metrics()
+        # A wall-clock step would previously have poisoned uptime; the
+        # wall-clock field is now display-only.
+        metrics.started_at += 1e9
+        uptime = metrics.snapshot()["uptime_seconds"]
+        assert uptime >= 0.0
+        assert uptime < 60.0
+
 
 # ---------------------------------------------------------------------------
 # Trace propagation through the worker pool (satellite 4)
