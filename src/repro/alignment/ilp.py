@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..ilp import MAXIMIZE, Solution, ZeroOneModel, solve as ilp_solve
 from ..obs.tracing import add_event as obs_event, span as obs_span
+from ..resilience.degrade import note_degradation
 from .cag import CAG, Node
 from .lattice import Partitioning
 
@@ -155,6 +156,57 @@ class AlignmentResolution:
     solution: Solution
     num_variables: int
     num_constraints: int
+    optimal: bool = True  # False when a deadline forced a fallback
+
+
+def greedy_orientation(cag: CAG, d: int) -> Dict[Node, int]:
+    """Greedy CAG orientation: the anytime fallback when the alignment
+    ILP's budget expires without a proven optimum.
+
+    Starts from the identity alignment (dimension ``i`` of every array
+    on template axis ``i`` — always feasible, and the paper's default
+    when no conflicts exist), then makes one deterministic
+    local-improvement pass: each node moves to the axis that maximizes
+    the satisfied weight of its incident edges, subject to the type-2
+    rule that two dimensions of one array never share an axis.
+    """
+    nodes = sorted(cag.nodes)
+    assignment: Dict[Node, int] = {node: node[1] for node in nodes}
+
+    neighbors: Dict[Node, List[Tuple[Node, float]]] = {n: [] for n in nodes}
+    for (a, b), weight in cag.weights.items():
+        neighbors[a].append((b, weight))
+        neighbors[b].append((a, weight))
+
+    by_array: Dict[str, List[Node]] = {}
+    for node in nodes:
+        by_array.setdefault(node[0], []).append(node)
+
+    # Visit heavy nodes first so they claim their best axis.
+    def incident_weight(node: Node) -> float:
+        return sum(w for _n, w in neighbors[node])
+
+    for node in sorted(nodes, key=lambda n: (-incident_weight(n), n)):
+        taken = {
+            assignment[sib] for sib in by_array[node[0]] if sib != node
+        }
+        best_k = assignment[node]
+        best_gain = sum(
+            w for other, w in neighbors[node]
+            if assignment[other] == best_k
+        )
+        for k in range(d):
+            if k == best_k or k in taken:
+                continue
+            gain = sum(
+                w for other, w in neighbors[node]
+                if assignment[other] == k
+            )
+            if gain > best_gain:
+                best_gain = gain
+                best_k = k
+        assignment[node] = best_k
+    return assignment
 
 
 def resolve_conflicts(
@@ -164,23 +216,45 @@ def resolve_conflicts(
     ``cag`` for a ``d``-dimensional template.
 
     Returns the conflict-free CAG obtained by removing the minimum-weight
-    set of partition-crossing edges, as chosen by the 0-1 solver.
+    set of partition-crossing edges, as chosen by the 0-1 solver.  If a
+    request deadline cut the solve short, the best incumbent (or the
+    greedy orientation) is used instead and the resolution is flagged
+    ``optimal=False`` with a degradation note.
     """
     with obs_span("alignment.resolve", name=name, template_rank=d) as sp:
         ilp = build_alignment_model(cag, d, name=name)
         sp.set_attr("variables", ilp.num_variables)
         sp.set_attr("constraints", ilp.num_constraints)
         solution = ilp_solve(ilp.model, backend=backend)
-        if not solution.is_optimal:
+        optimal = solution.is_optimal
+        if solution.has_incumbent:
+            assignment: Dict[Node, int] = {}
+            for node in cag.nodes:
+                for k in range(d):
+                    if solution.values.get(_node_var(node, k)) == 1:
+                        assignment[node] = k
+                        break
+            if not optimal:
+                note_degradation(
+                    "alignment", "incumbent",
+                    f"solver stopped at {solution.status}; "
+                    f"using best incumbent for {name!r}",
+                )
+        elif solution.status == "unknown":
+            # Budget expired before any incumbent: fall back to the
+            # greedy orientation heuristic.
+            assignment = greedy_orientation(cag, d)
+            note_degradation(
+                "alignment", "greedy-fallback",
+                f"no incumbent within budget; greedy orientation "
+                f"for {name!r}",
+            )
+        else:
+            # The model is feasible by construction (identity alignment
+            # always satisfies it); a proven "infeasible" is a solver bug.
             raise RuntimeError(
                 f"alignment ILP unexpectedly {solution.status} for {name!r}"
             )
-        assignment: Dict[Node, int] = {}
-        for node in cag.nodes:
-            for k in range(d):
-                if solution.values.get(_node_var(node, k)) == 1:
-                    assignment[node] = k
-                    break
         cut_keys = []
         cut_weight = 0.0
         for (a, b), weight in cag.weights.items():
@@ -207,4 +281,5 @@ def resolve_conflicts(
         solution=solution,
         num_variables=ilp.num_variables,
         num_constraints=ilp.num_constraints,
+        optimal=optimal,
     )

@@ -3,8 +3,11 @@
 from typing import Optional
 
 from ..obs.tracing import span as _obs_span
+from ..resilience.deadline import remaining_budget as _remaining_budget
+from ..resilience.faults import fault_point as _fault_point
 from . import branch_bound, scipy_backend
 from .model import (
+    INCUMBENT_STATUSES,
     MAXIMIZE,
     MINIMIZE,
     Constraint,
@@ -28,13 +31,23 @@ def solve(
     backend: str = DEFAULT_BACKEND,
     time_limit: Optional[float] = None,
 ) -> Solution:
-    """Solve a 0-1 model with the named backend ("scipy" | "branch-bound")."""
+    """Solve a 0-1 model with the named backend ("scipy" | "branch-bound").
+
+    Any request deadline in scope clamps ``time_limit`` to the budget
+    actually remaining, making every solve *anytime*: past the budget
+    the backends return their best incumbent (status ``time_limit`` /
+    ``node_limit``) or ``unknown``, never block the request.
+    """
     try:
         fn = BACKENDS[backend]
     except KeyError:
         raise ModelError(
             f"unknown backend {backend!r}; available: {sorted(BACKENDS)}"
         ) from None
+    _fault_point("ilp.solve")
+    budget = _remaining_budget()
+    if budget is not None:
+        time_limit = budget if time_limit is None else min(time_limit, budget)
     with _obs_span(
         "ilp.solve",
         name=model.name,
@@ -55,6 +68,7 @@ __all__ = [
     "Solution",
     "SolveStats",
     "ModelError",
+    "INCUMBENT_STATUSES",
     "MINIMIZE",
     "MAXIMIZE",
     "solve",

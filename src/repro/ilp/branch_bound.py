@@ -153,13 +153,27 @@ def solve(
     time_limit: Optional[float] = None,
     node_limit: int = 5_000_000,
 ) -> Solution:
-    """Solve ``model`` exactly by implicit enumeration."""
+    """Solve ``model`` exactly by implicit enumeration.
+
+    Anytime behavior: on hitting ``time_limit`` or ``node_limit`` the
+    best incumbent found so far is returned with status ``time_limit``
+    / ``node_limit`` (``unknown`` when no feasible point was reached),
+    so deadline-bounded callers always get their best available answer.
+    """
     prob = _Problem(model)
     n = prob.n
     if n == 0:
         return Solution(
             status="optimal",
             objective=0.0,
+            values={},
+            stats=SolveStats(backend="branch-bound"),
+        )
+    if time_limit is not None and time_limit <= 0:
+        # Budget already spent before the solve began.
+        return Solution(
+            status="unknown",
+            objective=float("nan"),
             values={},
             stats=SolveStats(backend="branch-bound"),
         )
@@ -210,7 +224,7 @@ def solve(
     # ("assign", var, value) sets a branch value; ("unassign", var) and
     # ("untrail", trail) undo on the way back up.
     stack: List[tuple] = [("enter",)]
-    limit_reached = False
+    limit_reached: Optional[str] = None
     while stack:
         action = stack.pop()
         kind = action[0]
@@ -227,12 +241,15 @@ def solve(
             continue
         # kind == "enter": evaluate the current node.
         nodes += 1
-        if nodes > node_limit or (
+        if nodes > node_limit:
+            limit_reached = "node_limit"
+            break
+        if (
             time_limit is not None
-            and nodes % 4096 == 0
+            and nodes % 256 == 0
             and time.perf_counter() - start > time_limit
         ):
-            limit_reached = True
+            limit_reached = "time_limit"
             break
         trail: List[int] = []
         if not _propagate(prob, assign, trail):
@@ -271,14 +288,17 @@ def solve(
         stack.append(("assign", branch_var, first))
 
     status = "optimal"
-    if limit_reached:
-        status = "node_limit" if best_assign is not None else "infeasible"
+    if limit_reached is not None:
+        # The search was cut short: the incumbent (if any) is feasible
+        # but unproven; with no incumbent the model's status is unknown,
+        # NOT infeasible — infeasibility requires an exhausted search.
+        status = limit_reached if best_assign is not None else "unknown"
     elapsed = time.perf_counter() - start
     stats = SolveStats(backend="branch-bound", wall_time=elapsed, nodes=nodes)
 
     if best_assign is None:
         return Solution(
-            status="infeasible",
+            status="infeasible" if limit_reached is None else "unknown",
             objective=float("nan"),
             values={},
             stats=stats,

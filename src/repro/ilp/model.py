@@ -44,11 +44,24 @@ class SolveStats:
     nodes: int = 0
 
 
+#: statuses whose ``values`` hold a feasible (if unproven) assignment
+INCUMBENT_STATUSES = ("optimal", "time_limit", "node_limit")
+
+
 @dataclass
 class Solution:
-    """An optimal (or infeasible-marked) solution of a 0-1 model."""
+    """The outcome of a 0-1 solve.
 
-    status: str  # "optimal" | "infeasible"
+    ``status`` is one of:
+
+    - ``optimal``    — proven optimum, ``values`` hold it;
+    - ``time_limit`` / ``node_limit`` — the solver hit its budget but
+      carries a feasible *incumbent* in ``values`` (anytime behavior);
+    - ``infeasible`` — proven infeasible;
+    - ``unknown``    — budget exhausted with no incumbent found.
+    """
+
+    status: str
     objective: float
     values: Dict[str, int]
     stats: SolveStats = field(default_factory=SolveStats)
@@ -56,6 +69,11 @@ class Solution:
     @property
     def is_optimal(self) -> bool:
         return self.status == "optimal"
+
+    @property
+    def has_incumbent(self) -> bool:
+        """A feasible assignment exists, proven optimal or not."""
+        return self.status in INCUMBENT_STATUSES
 
     def on_vars(self) -> List[str]:
         """Names of variables set to 1."""

@@ -28,6 +28,15 @@ def solve(model: ZeroOneModel, time_limit: Optional[float] = None) -> Solution:
             stats=SolveStats(backend="scipy-highs"),
         )
 
+    if time_limit is not None and time_limit <= 0:
+        # Budget already spent before the solve began.
+        return Solution(
+            status="unknown",
+            objective=float("nan"),
+            values={},
+            stats=SolveStats(backend="scipy-highs"),
+        )
+
     sign = -1.0 if model.sense == MAXIMIZE else 1.0
     c = np.zeros(n)
     for var, coeff in model.objective.items():
@@ -73,8 +82,25 @@ def solve(model: ZeroOneModel, time_limit: Optional[float] = None) -> Solution:
         nodes=int(getattr(result, "mip_node_count", 0) or 0),
     )
     if not result.success:
+        # HiGHS status 1 = iteration/time limit; any feasible point it
+        # carries is a usable incumbent (anytime behavior).  Everything
+        # else without a certificate of infeasibility is "unknown".
+        hit_limit = getattr(result, "status", None) == 1
+        if hit_limit and getattr(result, "x", None) is not None:
+            values = {
+                var: int(round(result.x[model.var_index(var)]))
+                for var in model.variables
+            }
+            if model.is_feasible(values):
+                return Solution(
+                    status="time_limit",
+                    objective=model.objective_value(values),
+                    values=values,
+                    stats=stats,
+                )
+        status = "unknown" if hit_limit else "infeasible"
         return Solution(
-            status="infeasible", objective=float("nan"), values={}, stats=stats
+            status=status, objective=float("nan"), values={}, stats=stats
         )
     values = {
         var: int(round(result.x[model.var_index(var)]))

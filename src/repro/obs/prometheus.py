@@ -151,6 +151,13 @@ def render_prometheus(
     for name, value in sorted(stats.get("counters", {}).items()):
         counters.add(value, name=name)
 
+    # Degraded responses get a first-class family (beyond the generic
+    # counter row) so dashboards can alert on it directly.
+    registry.family(
+        "degraded_total", "counter",
+        "Requests answered with a labeled-degraded (non-optimal) result",
+    ).add(stats.get("counters", {}).get("requests_degraded", 0))
+
     cache = stats.get("cache", {})
     registry.family(
         "cache_hits_total", "counter", "Stage cache hits (all stages)",
@@ -216,6 +223,41 @@ def render_prometheus(
                 "pool_max_workers", "gauge",
                 "Configured worker count",
             ).add(pool["max_workers"])
+
+    # Circuit breakers (worker pool + cache disk), when present.
+    breakers = []
+    if pool.get("breaker"):
+        breakers.append(pool["breaker"])
+    if cache.get("breaker"):
+        breakers.append(cache["breaker"])
+    if breakers:
+        state = registry.family(
+            "breaker_state", "gauge",
+            "Circuit breaker state (0 closed, 0.5 half-open, 1 open)",
+        )
+        opens = registry.family(
+            "breaker_opens_total", "counter",
+            "Times each circuit breaker tripped open",
+        )
+        rejections = registry.family(
+            "breaker_rejections_total", "counter",
+            "Calls rejected by an open circuit breaker",
+        )
+        state_value = {"closed": 0.0, "half-open": 0.5, "open": 1.0}
+        for breaker in breakers:
+            name = breaker.get("name", "")
+            state.add(
+                state_value.get(breaker.get("state"), 0.0), breaker=name
+            )
+            opens.add(breaker.get("opens_total", 0), breaker=name)
+            rejections.add(
+                breaker.get("rejections_total", 0), breaker=name
+            )
+    if cache.get("quarantined_total") is not None:
+        registry.family(
+            "cache_quarantined_total", "counter",
+            "Corrupt cache entries moved aside (self-healing)",
+        ).add(cache.get("quarantined_total", 0))
 
     return registry.render()
 

@@ -41,6 +41,8 @@ def build_provenance(trace: Mapping[str, Any]) -> Dict[str, Any]:
         "trace_id": trace.get("trace_id"),
         "objective_us": None,
         "backend": None,
+        "optimal": True,
+        "degradations": [],
         "phases": [],
         "arrays": {},
         "conflicts": [],
@@ -48,6 +50,16 @@ def build_provenance(trace: Mapping[str, Any]) -> Dict[str, Any]:
         "remaps": [],
         "ilp_solves": [],
     }
+
+    # -- degradation notes (anytime-ILP fallbacks) -----------------------
+    for _span, event in iter_events(trace, "resilience.degraded"):
+        attrs = event.get("attrs", {})
+        report["degradations"].append({
+            "stage": attrs.get("stage"),
+            "reason": attrs.get("reason"),
+            "detail": attrs.get("detail"),
+        })
+    report["optimal"] = not report["degradations"]
 
     # -- global selection facts ------------------------------------------
     for span in spans_by_name(trace, "selection.solve"):
@@ -200,6 +212,17 @@ def format_provenance(report: Mapping[str, Any]) -> str:
             f"predicted total: {report['objective_us'] / 1e6:.4f} s "
             f"(selection backend: {report.get('backend', '?')})"
         )
+    degradations = report.get("degradations", [])
+    if degradations:
+        lines.append(
+            "DEGRADED result — not certified optimal "
+            f"({len(degradations)} fallback decision(s)):"
+        )
+        for note in degradations:
+            detail = f" — {note['detail']}" if note.get("detail") else ""
+            lines.append(
+                f"  {note.get('stage')}: {note.get('reason')}{detail}"
+            )
 
     for phase in report.get("phases", []):
         space = phase.get("search_space") or {}

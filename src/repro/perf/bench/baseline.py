@@ -36,6 +36,13 @@ import re
 import sys
 from typing import Any, Dict, List, Mapping, Optional
 
+from ...resilience.atomic import (
+    atomic_write_text,
+    quarantine,
+    stamp_json_integrity,
+    verify_json_integrity,
+)
+from ...resilience.errors import CorruptStateError
 from .timer import Measurement
 
 #: identifies the JSON bench-file format
@@ -198,22 +205,30 @@ def new_run(
 
 
 def load_bench_file(path: str) -> Dict[str, Any]:
-    """Read and validate one trajectory file."""
+    """Read and validate one trajectory file (integrity stamp included:
+    a present-but-wrong ``integrity`` field raises
+    :class:`~repro.resilience.errors.CorruptStateError`; files written
+    before stamping existed pass on schema validation alone)."""
     with open(path, "r", encoding="utf-8") as handle:
         data = json.load(handle)
+    if isinstance(data, dict):
+        verify_json_integrity(data, label=path)
     validate_bench_file(data)
     return data
 
 
 def write_bench_file(data: Mapping[str, Any], path: str) -> None:
-    """Validate then write a trajectory file (indented, sorted keys)."""
+    """Validate, stamp with an integrity digest, then write the
+    trajectory file atomically (temp file + ``os.replace``) so a crash
+    mid-write can never leave a torn baseline behind."""
     validate_bench_file(data)
     parent = os.path.dirname(path)
     if parent:
         os.makedirs(parent, exist_ok=True)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(data, handle, indent=1, sort_keys=True)
-        handle.write("\n")
+    stamped = stamp_json_integrity(dict(data))
+    atomic_write_text(
+        path, json.dumps(stamped, indent=1, sort_keys=True) + "\n"
+    )
 
 
 def append_run(
@@ -225,11 +240,19 @@ def append_run(
 ) -> str:
     """Append one run to ``BENCH_<label>.json`` (creating it if absent);
     returns the file path.  Trajectories are capped at ``max_runs`` runs
-    (oldest dropped) so the files stay reviewable."""
+    (oldest dropped) so the files stay reviewable.  A corrupt existing
+    file is quarantined and the trajectory restarts, so one damaged
+    baseline never blocks future runs."""
     path = bench_path(label, root)
+    data: Optional[Dict[str, Any]] = None
     if os.path.exists(path):
-        data = load_bench_file(path)
-    else:
+        try:
+            data = load_bench_file(path)
+        except (BenchValidationError, CorruptStateError,
+                json.JSONDecodeError, OSError):
+            quarantine(path)
+            data = None
+    if data is None:
         data = {"schema": BENCH_SCHEMA, "label": label, "runs": []}
     next_id = (data["runs"][-1]["run_id"] + 1) if data["runs"] else 1
     data["runs"].append(new_run(results, meta=meta, run_id=next_id))

@@ -20,6 +20,7 @@ import os
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional
 
+from ..resilience.atomic import atomic_write_json, atomic_write_text
 from .generator import GeneratorConfig
 
 #: the committed regression corpus, relative to the repo root
@@ -74,15 +75,13 @@ def case_meta(
 def write_case(
     directory: str, name: str, source: str, meta: Dict[str, Any]
 ) -> str:
-    """Write one case; returns the source path."""
+    """Write one case atomically (a crash mid-write must never leave a
+    half-formed repro in the committed corpus); returns the source
+    path."""
     os.makedirs(directory, exist_ok=True)
     src_path = os.path.join(directory, f"{name}.f")
-    with open(src_path, "w", encoding="utf-8") as handle:
-        handle.write(source)
-    with open(os.path.join(directory, f"{name}.json"), "w",
-              encoding="utf-8") as handle:
-        json.dump(meta, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    atomic_write_text(src_path, source)
+    atomic_write_json(os.path.join(directory, f"{name}.json"), meta)
     return src_path
 
 

@@ -1,0 +1,88 @@
+"""Request deadlines: a monotonic time budget carried in a ContextVar.
+
+A :class:`Deadline` is created once per request (from the protocol's
+``deadline_s`` field, or derived from the server's hard request
+timeout) and installed with :func:`deadline_scope`.  Downstream code
+never receives it explicitly — the ILP entry point reads
+:func:`current_deadline` and clamps its solver time limit to the
+remaining budget, which is what makes the NP-complete alignment and
+selection solves *anytime*: on expiry they return their best incumbent
+(or a greedy heuristic) instead of running away.
+
+ContextVars do not cross threads on their own; the service re-enters
+the scope inside its pipeline thread, and :class:`Deadline` objects
+themselves are immutable-after-init and safe to share.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from time import perf_counter
+from typing import Iterator, Optional
+
+from .errors import DeadlineExceeded
+
+
+class Deadline:
+    """A wall-clock budget anchored on the monotonic clock."""
+
+    __slots__ = ("budget_s", "_expires_at")
+
+    def __init__(self, budget_s: float):
+        if budget_s <= 0:
+            raise ValueError(f"deadline budget must be > 0, got {budget_s}")
+        self.budget_s = float(budget_s)
+        self._expires_at = perf_counter() + self.budget_s
+
+    def remaining(self) -> float:
+        """Seconds left; negative once expired."""
+        return self._expires_at - perf_counter()
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def check(self, label: str = "") -> None:
+        """Raise :class:`DeadlineExceeded` if the budget ran out."""
+        if self.expired():
+            where = f" at {label}" if label else ""
+            raise DeadlineExceeded(
+                f"deadline of {self.budget_s:g}s exceeded{where}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Deadline(budget_s={self.budget_s:g}, "
+                f"remaining={self.remaining():.3f})")
+
+
+_current: ContextVar[Optional[Deadline]] = ContextVar(
+    "repro_deadline", default=None
+)
+
+
+def current_deadline() -> Optional[Deadline]:
+    """The deadline governing the current context, if any."""
+    return _current.get()
+
+
+def remaining_budget() -> Optional[float]:
+    """Seconds left on the current deadline (clamped at 0), or ``None``
+    when no deadline is in scope."""
+    deadline = _current.get()
+    if deadline is None:
+        return None
+    return max(deadline.remaining(), 0.0)
+
+
+@contextmanager
+def deadline_scope(deadline: Optional[Deadline]) -> Iterator[Optional[Deadline]]:
+    """Install ``deadline`` for the duration of the block (``None``
+    installs nothing, so callers can scope unconditionally)."""
+    if deadline is None:
+        yield None
+        return
+    token = _current.set(deadline)
+    try:
+        yield deadline
+    finally:
+        _current.reset(token)

@@ -1,0 +1,81 @@
+"""Degradation accounting: every fallback path declares itself.
+
+The invariant the service promises is *optimal result, labeled-degraded
+result, or clean typed error*.  The "labeled" part is this module: when
+an anytime ILP returns an unproven incumbent, or a greedy heuristic
+stands in for an expired solve, the code calls
+:func:`note_degradation`.  The note lands in two places:
+
+- the per-request collector installed by the service
+  (:func:`collecting`), which sets the response's ``degraded`` flag,
+  the ``repro_degraded_total`` counter, and keeps degraded stage
+  outputs out of the persistent cache;
+- the active trace, as a ``resilience.degraded`` event with
+  ``optimal=False``, so ``repro explain`` provenance shows exactly
+  which decision was heuristic.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional
+
+from ..obs import tracing
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One fallback decision: which stage degraded and why."""
+
+    stage: str
+    reason: str
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = {"stage": self.stage, "reason": self.reason}
+        if self.detail:
+            out["detail"] = self.detail
+        return out
+
+
+_events: ContextVar[Optional[List[DegradationEvent]]] = ContextVar(
+    "repro_degradations", default=None
+)
+
+
+@contextmanager
+def collecting() -> Iterator[List[DegradationEvent]]:
+    """Install a fresh collector; yields the (live) event list."""
+    bucket: List[DegradationEvent] = []
+    token = _events.set(bucket)
+    try:
+        yield bucket
+    finally:
+        _events.reset(token)
+
+
+def note_degradation(stage: str, reason: str,
+                     detail: str = "") -> DegradationEvent:
+    """Record one degradation in the active collector and trace."""
+    event = DegradationEvent(stage=stage, reason=reason, detail=detail)
+    bucket = _events.get()
+    if bucket is not None:
+        bucket.append(event)
+    tracing.add_event(
+        "resilience.degraded",
+        stage=stage,
+        reason=reason,
+        detail=detail,
+        optimal=False,
+    )
+    return event
+
+
+def noted_count() -> int:
+    """How many degradations the current collector has seen (0 when no
+    collector is installed) — lets the cache skip storing any stage
+    output whose computation degraded."""
+    bucket = _events.get()
+    return len(bucket) if bucket is not None else 0

@@ -1,0 +1,47 @@
+"""Typed errors of the resilience layer.
+
+Every class carries a ``kind`` attribute, the same convention as
+:mod:`repro.service.errors`: the wire protocol reports ``error.kind``
+so clients (and the chaos invariant checker) can distinguish a clean
+typed failure from an unexpected internal crash without parsing text.
+"""
+
+from __future__ import annotations
+
+
+class ResilienceError(Exception):
+    """Base class for resilience-layer failures."""
+
+    kind = "resilience"
+
+
+class InjectedFault(ResilienceError):
+    """A deterministically injected fault fired at a registered site."""
+
+    kind = "injected-fault"
+
+    def __init__(self, site: str, detail: str = ""):
+        self.site = site
+        self.detail = detail
+        message = f"injected fault at {site!r}"
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+
+
+class DeadlineExceeded(ResilienceError):
+    """A request's time budget ran out before the work completed."""
+
+    kind = "deadline"
+
+
+class CircuitOpenError(ResilienceError):
+    """A circuit breaker rejected the call while open."""
+
+    kind = "circuit-open"
+
+
+class CorruptStateError(ResilienceError):
+    """A persisted artifact failed its checksum or structural check."""
+
+    kind = "corrupt-state"

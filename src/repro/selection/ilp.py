@@ -20,6 +20,7 @@ from typing import Dict, Optional, Tuple
 
 from ..ilp import MINIMIZE, Solution, ZeroOneModel, solve as ilp_solve
 from ..obs import tracing
+from ..resilience.degrade import note_degradation
 from .layout_graph import DataLayoutGraph
 
 
@@ -101,13 +102,51 @@ def build_selection_model(
 
 @dataclass
 class SelectionResult:
-    """Optimal selection: candidate position per phase."""
+    """Selected candidate position per phase (optimal unless flagged)."""
 
     selection: Dict[int, int]
     objective: float
     solution: Solution
     num_variables: int
     num_constraints: int
+    optimal: bool = True  # False when a deadline forced a fallback
+
+
+def greedy_selection(
+    graph: DataLayoutGraph,
+    allowed: Optional[Dict[int, set]] = None,
+) -> Dict[int, int]:
+    """Greedy layout selection: the anytime fallback when the selection
+    ILP's budget expires with no incumbent.
+
+    Walks phases in program order picking, for each, the candidate that
+    minimizes its node cost plus the remapping cost from the previous
+    choices — the classic one-pass heuristic the paper's exact ILP
+    improves upon (Section 2.4).
+    """
+    # Remapping edges into each phase from already-decided phases.
+    incoming: Dict[int, list] = {}
+    for edge in graph.edges:
+        incoming.setdefault(edge.dst_phase, []).append(edge)
+
+    selection: Dict[int, int] = {}
+    for phase_index, costs in sorted(graph.node_costs.items()):
+        candidates = range(len(costs))
+        if allowed is not None and phase_index in allowed:
+            candidates = [
+                c for c in candidates if c in allowed[phase_index]
+            ] or list(range(len(costs)))
+        best_cand, best_cost = None, None
+        for cand in candidates:
+            cost = costs[cand]
+            for edge in incoming.get(phase_index, ()):
+                prev = selection.get(edge.src_phase)
+                if prev is not None:
+                    cost += edge.costs.get((prev, cand), 0.0)
+            if best_cost is None or cost < best_cost:
+                best_cand, best_cost = cand, cost
+        selection[phase_index] = best_cand if best_cand is not None else 0
+    return selection
 
 
 def select_layouts(
@@ -115,34 +154,59 @@ def select_layouts(
     backend: str = "scipy",
     allowed: Optional[Dict[int, set]] = None,
 ) -> SelectionResult:
-    """Solve the selection problem to proven optimality."""
+    """Solve the selection problem to proven optimality.
+
+    If a request deadline cuts the solve short, the best incumbent (or
+    the greedy one-pass selection) is returned with ``optimal=False``
+    and a degradation note instead of an exception.
+    """
     with tracing.span("selection.solve", backend=backend) as sp:
         ilp = build_selection_model(graph, allowed=allowed)
         sp.set_attr("variables", ilp.num_variables)
         sp.set_attr("constraints", ilp.num_constraints)
         solution = ilp_solve(ilp.model, backend=backend)
-        if not solution.is_optimal:
-            raise RuntimeError(f"selection ILP {solution.status}")
-        selection: Dict[int, int] = {}
-        for phase_index, costs in graph.node_costs.items():
-            for cand in range(len(costs)):
-                if solution.values.get(_x(phase_index, cand)) == 1:
-                    selection[phase_index] = cand
-                    break
-            else:  # pragma: no cover - guaranteed by exactly-one
-                raise AssertionError(
-                    f"no candidate chosen for {phase_index}"
+        optimal = solution.is_optimal
+        if solution.has_incumbent:
+            selection: Dict[int, int] = {}
+            for phase_index, costs in graph.node_costs.items():
+                for cand in range(len(costs)):
+                    if solution.values.get(_x(phase_index, cand)) == 1:
+                        selection[phase_index] = cand
+                        break
+                else:  # pragma: no cover - guaranteed by exactly-one
+                    raise AssertionError(
+                        f"no candidate chosen for {phase_index}"
+                    )
+            if not optimal:
+                note_degradation(
+                    "selection", "incumbent",
+                    f"solver stopped at {solution.status}; "
+                    f"using best incumbent",
                 )
-        # Cross-check the ILP objective against the shared evaluator.
-        evaluated = graph.evaluate(selection)
-        if abs(evaluated - solution.objective) > max(
-            1e-6 * evaluated, 1e-3
-        ):
-            raise AssertionError(
-                f"ILP objective {solution.objective} != "
-                f"evaluated {evaluated}"
+        elif solution.status == "unknown":
+            selection = greedy_selection(graph, allowed=allowed)
+            note_degradation(
+                "selection", "greedy-fallback",
+                "no incumbent within budget; greedy one-pass selection",
             )
+        else:
+            # Exactly-one rows make the model feasible by construction.
+            raise RuntimeError(f"selection ILP {solution.status}")
+        evaluated = graph.evaluate(selection)
+        if optimal:
+            # Cross-check the ILP objective against the shared evaluator.
+            # (Skipped for incumbents: their y-variables may sit above
+            # the implied indicator values, inflating the reported
+            # objective; ``evaluated`` is authoritative either way.)
+            if abs(evaluated - solution.objective) > max(
+                1e-6 * evaluated, 1e-3
+            ):
+                raise AssertionError(
+                    f"ILP objective {solution.objective} != "
+                    f"evaluated {evaluated}"
+                )
         sp.set_attr("objective_us", evaluated)
+        sp.set_attr("optimal", optimal)
         if tracing.active():
             _record_provenance(graph, selection)
     return SelectionResult(
@@ -151,6 +215,7 @@ def select_layouts(
         solution=solution,
         num_variables=ilp.num_variables,
         num_constraints=ilp.num_constraints,
+        optimal=optimal,
     )
 
 

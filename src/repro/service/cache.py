@@ -23,9 +23,13 @@ distribution stage; changing nprocs invalidates from the distribution
 stage down; editing only branch probabilities keeps the frontend hit.
 
 Storage is two-level: a small in-memory LRU in front of one pickle file
-per entry (``<root>/<stage>/<key>.pkl``).  Corrupt or unreadable files
-are treated as misses and deleted — a damaged cache can cost a
-recompute, never a wrong answer or a crash.
+per entry (``<root>/<stage>/<key>.pkl``).  On-disk entries carry a
+checksum footer (:mod:`repro.resilience.atomic`) and are written
+atomically; a corrupt or unreadable file is *quarantined* (renamed
+aside, never silently deleted) and treated as a miss — a damaged cache
+can cost a recompute, never a wrong answer or a crash.  Disk I/O is
+guarded by a circuit breaker: a run of consecutive I/O failures drops
+the cache to memory-only until the breaker's reset timeout.
 """
 
 from __future__ import annotations
@@ -34,17 +38,26 @@ import hashlib
 import json
 import os
 import pickle
-import tempfile
 import threading
 from collections import OrderedDict
 from typing import Any, Dict, Optional, Tuple
 
 from ..frontend.printer import format_program
 from ..perf.training import machine_cache_key
+from ..resilience.atomic import (
+    atomic_write_bytes,
+    checksum_unwrap,
+    checksum_wrap,
+    quarantine,
+)
+from ..resilience.breaker import CircuitBreaker
+from ..resilience.errors import CorruptStateError, InjectedFault
+from ..resilience.faults import corrupt_point, fault_point
 from ..tool.assistant import AssistantConfig
 
 #: bump when a stage's output format changes incompatibly
-CACHE_VERSION = "v1"
+#: (v2: checksum footers on disk entries)
+CACHE_VERSION = "v2"
 
 #: in-memory LRU entries kept in front of the disk store
 _MEMORY_ENTRIES = 64
@@ -131,11 +144,16 @@ class StageCache:
     """
 
     def __init__(self, root: Optional[str] = None,
-                 memory_entries: int = _MEMORY_ENTRIES):
+                 memory_entries: int = _MEMORY_ENTRIES,
+                 breaker: Optional[CircuitBreaker] = None):
         self.root = root
         self._memory: "OrderedDict[Tuple[str, str], Any]" = OrderedDict()
         self._memory_entries = memory_entries
         self._lock = threading.Lock()
+        self.breaker = breaker or CircuitBreaker(
+            name="cache-disk", failure_threshold=5, reset_timeout_s=10.0
+        )
+        self.quarantined_total = 0
         if root:
             os.makedirs(root, exist_ok=True)
 
@@ -144,6 +162,10 @@ class StageCache:
     def _path(self, stage: str, key: str) -> str:
         assert self.root is not None
         return os.path.join(self.root, stage, f"{key}.pkl")
+
+    def _quarantine(self, path: str) -> None:
+        if quarantine(path) is not None:
+            self.quarantined_total += 1
 
     # -- operations ------------------------------------------------------
 
@@ -154,44 +176,52 @@ class StageCache:
             if mem_key in self._memory:
                 self._memory.move_to_end(mem_key)
                 return True, self._memory[mem_key]
-        if not self.root:
+        if not self.root or not self.breaker.allow():
             return False, None
         path = self._path(stage, key)
         try:
+            fault_point("cache.load")
             with open(path, "rb") as handle:
-                value = pickle.load(handle)
+                blob = handle.read()
         except FileNotFoundError:
+            self.breaker.record_success()
             return False, None
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError, ValueError):
-            # damaged entry: drop it and recompute
-            try:
-                os.remove(path)
-            except OSError:
-                pass
+        except (InjectedFault, OSError):
+            # the disk itself misbehaved: count it against the breaker
+            self.breaker.record_failure()
+            return False, None
+        self.breaker.record_success()
+        blob = corrupt_point("cache.load", blob)
+        try:
+            payload = checksum_unwrap(blob, label=path)
+            value = pickle.loads(payload)
+        except (CorruptStateError, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError, IndexError, ValueError):
+            # damaged entry: move it aside and recompute (the read
+            # succeeded, so this is data rot, not a disk fault)
+            self._quarantine(path)
             return False, None
         self._remember(mem_key, value)
         return True, value
 
     def store(self, stage: str, key: str, value: Any) -> None:
         self._remember((stage, key), value)
-        if not self.root:
+        if not self.root or not self.breaker.allow():
             return
         path = self._path(stage, key)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        # write-then-rename so concurrent readers never see a torn file
-        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
-                                   suffix=".tmp")
+        blob = checksum_wrap(
+            pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        blob = corrupt_point("cache.store", blob)
         try:
-            with os.fdopen(fd, "wb") as handle:
-                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        except OSError:
+            fault_point("cache.store")
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            atomic_write_bytes(path, blob)
+        except (InjectedFault, OSError):
             # a read-only or full disk degrades to memory-only caching
-            try:
-                os.remove(tmp)
-            except OSError:
-                pass
+            self.breaker.record_failure()
+            return
+        self.breaker.record_success()
 
     def _remember(self, mem_key: Tuple[str, str], value: Any) -> None:
         with self._lock:
@@ -216,3 +246,10 @@ class StageCache:
                     f for f in os.listdir(stage_dir) if f.endswith(".pkl")
                 ])
         return counts
+
+    def describe(self) -> Dict[str, Any]:
+        """Resilience-facing state (breaker + quarantine counters)."""
+        return {
+            "breaker": self.breaker.describe(),
+            "quarantined_total": self.quarantined_total,
+        }

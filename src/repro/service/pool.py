@@ -11,16 +11,21 @@ Built on :mod:`concurrent.futures`.  Three kinds:
   reference behavior.
 
 Robustness contract: per-job timeouts (``job_timeout``), bounded retries
-on transient executor failures (``retries``), and degradation
-process -> thread -> serial whenever a pool cannot be (re)built.  Because
-jobs are pure (see :mod:`repro.service.jobs`), a retried or
-serially-degraded job returns exactly what the pooled run would have.
+on transient executor failures (``retries``) paced by an injectable
+exponential :class:`~repro.resilience.breaker.Backoff` (disabled by
+default so tests stay fast), a circuit breaker that drops straight to
+serial execution after a run of consecutive executor faults, and
+degradation process -> thread -> serial whenever a pool cannot be
+(re)built.  Because jobs are pure (see :mod:`repro.service.jobs`), a
+retried or serially-degraded job returns exactly what the pooled run
+would have.
 """
 
 from __future__ import annotations
 
 import threading
 from concurrent.futures import (
+    CancelledError,
     Executor,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
@@ -29,10 +34,17 @@ from concurrent.futures import (
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from ..obs import tracing
+from ..resilience.breaker import Backoff, CircuitBreaker
+from ..resilience.errors import InjectedFault
+from ..resilience.faults import fault_point
 from .errors import JobTimeoutError
 from .jobs import TRANSIENT_EXECUTOR_ERRORS, build_jobs, run_job
 
 POOL_KINDS = ("process", "thread", "serial")
+
+#: exceptions worth retrying: real executor breakage, injected faults,
+#: and futures cancelled when a sibling's failure rebuilt the executor
+_RETRIABLE = (InjectedFault, CancelledError, *TRANSIENT_EXECUTOR_ERRORS)
 
 
 class WorkerPool:
@@ -44,6 +56,8 @@ class WorkerPool:
         max_workers: Optional[int] = None,
         job_timeout: Optional[float] = None,
         retries: int = 1,
+        backoff: Optional[Backoff] = None,
+        breaker: Optional[CircuitBreaker] = None,
     ):
         if kind not in POOL_KINDS:
             raise ValueError(
@@ -54,6 +68,12 @@ class WorkerPool:
         self.max_workers = max_workers
         self.job_timeout = job_timeout
         self.retries = max(retries, 0)
+        # No waiting unless a backoff is supplied (tests stay instant;
+        # the serve CLI passes a real one).
+        self.backoff = backoff or Backoff(base_s=0.0)
+        self.breaker = breaker or CircuitBreaker(
+            name="worker-pool", failure_threshold=5, reset_timeout_s=10.0
+        )
         self._executor: Optional[Executor] = None
         self._lock = threading.Lock()
         self.degradations = 0
@@ -158,18 +178,25 @@ class WorkerPool:
         if not jobs:
             return []
         executor = self._ensure()
-        if executor is None:
+        if executor is None or not self.breaker.allow():
+            # serial reference path (also the breaker-open fallback:
+            # after a run of executor faults the batch runs in-process
+            # until the breaker half-opens)
             return [run_job(job).value for job in jobs]
         try:
+            fault_point("pool.submit")
             futures = [executor.submit(run_job, job) for job in jobs]
-        except (RuntimeError, *TRANSIENT_EXECUTOR_ERRORS):
+        except (RuntimeError, *_RETRIABLE):
             # the executor died before accepting work — run this batch
             # on whatever the rebuild gives us (possibly serial)
+            self.breaker.record_failure()
             self._rebuild(executor)
             return self._run_batch_degraded(jobs)
         results: List[Any] = [None] * len(jobs)
+        failures = 0
         for i, future in enumerate(futures):
             try:
+                fault_point("pool.result")
                 results[i] = future.result(timeout=self.job_timeout).value
             except FuturesTimeoutError:
                 future.cancel()
@@ -177,8 +204,12 @@ class WorkerPool:
                     f"job {i} exceeded {self.job_timeout}s in "
                     f"{self.active_kind} pool"
                 )
-            except TRANSIENT_EXECUTOR_ERRORS as exc:
+            except _RETRIABLE as exc:
+                failures += 1
+                self.breaker.record_failure()
                 results[i] = self._retry_job(jobs[i], executor, exc)
+        if failures == 0:
+            self.breaker.record_success()
         return results
 
     def _run_batch_degraded(self, jobs) -> List[Any]:
@@ -189,6 +220,7 @@ class WorkerPool:
         out = []
         for i, future in enumerate(futures):
             try:
+                fault_point("pool.result")
                 out.append(future.result(timeout=self.job_timeout).value)
             except FuturesTimeoutError:
                 future.cancel()
@@ -196,18 +228,28 @@ class WorkerPool:
                     f"job {i} exceeded {self.job_timeout}s in "
                     f"{self.active_kind} pool"
                 )
-            except TRANSIENT_EXECUTOR_ERRORS as exc:
+            except _RETRIABLE as exc:
+                self.breaker.record_failure()
                 out.append(self._retry_job(jobs[i], executor, exc))
         return out
 
     def _retry_job(self, job, broken: Optional[Executor],
                    cause: BaseException) -> Any:
-        """Bounded retries on a rebuilt pool, then serial in-process."""
-        for _ in range(self.retries):
-            executor = self._rebuild(broken)
+        """Bounded retries (paced by the backoff), then serial in-process.
+
+        Only real executor breakage warrants a rebuild — rebuilding
+        cancels the batch's other in-flight futures.  An injected fault
+        or a cancellation means the executor itself is healthy, so the
+        job is resubmitted to it as-is.
+        """
+        rebuild = isinstance(cause, TRANSIENT_EXECUTOR_ERRORS)
+        for attempt in range(self.retries):
+            self.backoff.wait(attempt)
+            executor = self._rebuild(broken) if rebuild else self._ensure()
             if executor is None:
                 break
             try:
+                fault_point("pool.result")
                 return executor.submit(run_job, job).result(
                     timeout=self.job_timeout
                 ).value
@@ -215,7 +257,9 @@ class WorkerPool:
                 raise JobTimeoutError(
                     f"job {job.index} exceeded {self.job_timeout}s on retry"
                 )
-            except TRANSIENT_EXECUTOR_ERRORS:
+            except _RETRIABLE as exc:
+                self.breaker.record_failure()
+                rebuild = isinstance(exc, TRANSIENT_EXECUTOR_ERRORS)
                 broken = executor
                 continue
         # graceful degradation: the job is pure, so running it here
@@ -233,4 +277,6 @@ class WorkerPool:
             "job_timeout": self.job_timeout,
             "retries": self.retries,
             "degradations": self.degradations,
+            "backoff": self.backoff.describe(),
+            "breaker": self.breaker.describe(),
         }

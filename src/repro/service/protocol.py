@@ -32,7 +32,7 @@ OPS = ("analyze", "stats", "metrics", "ping", "shutdown")
 #: fields accepted in an analyze request
 _ANALYZE_FIELDS = {
     "op", "request_id", "program", "source", "size", "dtype", "maxiter",
-    "procs", "machine", "backend", "use_cache", "trace",
+    "procs", "machine", "backend", "use_cache", "trace", "deadline_s",
 }
 
 
@@ -52,6 +52,9 @@ class LayoutRequest:
     use_cache: bool = True
     trace: bool = False  # return the request's span trace?
     request_id: Optional[str] = None
+    #: per-request time budget in seconds; past it the ILPs go anytime
+    #: and the response is labeled ``degraded`` instead of blocking
+    deadline_s: Optional[float] = None
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "LayoutRequest":
@@ -90,6 +93,18 @@ class LayoutRequest:
         dtype = data.get("dtype")
         if dtype is not None and dtype not in ("real", "double"):
             raise RequestValidationError(f"unknown dtype {dtype!r}")
+        deadline_s = data.get("deadline_s")
+        if deadline_s is not None:
+            try:
+                deadline_s = float(deadline_s)
+            except (TypeError, ValueError):
+                raise RequestValidationError(
+                    f"deadline_s must be a number, got {deadline_s!r}"
+                )
+            if deadline_s <= 0:
+                raise RequestValidationError(
+                    f"deadline_s must be > 0, got {deadline_s}"
+                )
         size = data.get("size")
         return cls(
             procs=procs,
@@ -103,11 +118,13 @@ class LayoutRequest:
             use_cache=bool(data.get("use_cache", True)),
             trace=bool(data.get("trace", False)),
             request_id=data.get("request_id"),
+            deadline_s=deadline_s,
         )
 
     def to_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {"op": "analyze", "procs": self.procs}
-        for name in ("program", "source", "size", "dtype", "request_id"):
+        for name in ("program", "source", "size", "dtype", "request_id",
+                     "deadline_s"):
             value = getattr(self, name)
             if value is not None:
                 out[name] = value
@@ -184,6 +201,12 @@ class LayoutResponse:
     stage_timings: List[StageTiming] = field(default_factory=list)
     cache_hits: int = 0
     cache_misses: int = 0
+    #: False when any pipeline stage fell back to an unproven incumbent
+    #: or heuristic (deadline expiry); the result is still valid, just
+    #: not certified optimal
+    degraded: bool = False
+    #: the fallback decisions behind ``degraded`` (stage/reason dicts)
+    degradations: List[Dict[str, Any]] = field(default_factory=list)
     #: the request's serialized span trace, when asked for
     trace: Optional[Dict[str, Any]] = None
 
@@ -193,7 +216,9 @@ class LayoutResponse:
         result: AssistantResult,
         timings: List[StageTiming],
         request_id: Optional[str] = None,
+        degradations: Optional[List[Dict[str, Any]]] = None,
     ) -> "LayoutResponse":
+        degradations = degradations or []
         return cls(
             ok=True,
             request_id=request_id,
@@ -206,6 +231,8 @@ class LayoutResponse:
             stage_timings=timings,
             cache_hits=sum(1 for t in timings if t.cache_hit),
             cache_misses=sum(1 for t in timings if not t.cache_hit),
+            degraded=bool(degradations),
+            degradations=degradations,
         )
 
     @classmethod
@@ -231,7 +258,10 @@ class LayoutResponse:
             "stage_timings": [t.to_dict() for t in self.stage_timings],
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "degraded": self.degraded,
         })
+        if self.degradations:
+            out["degradations"] = self.degradations
         if self.trace is not None:
             out["trace"] = self.trace
         return out
@@ -254,5 +284,7 @@ class LayoutResponse:
             stage_timings=timings,
             cache_hits=int(data.get("cache_hits", 0)),
             cache_misses=int(data.get("cache_misses", 0)),
+            degraded=bool(data.get("degraded", False)),
+            degradations=list(data.get("degradations", [])),
             trace=data.get("trace"),
         )

@@ -28,6 +28,10 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..obs import tracing
 from ..obs.log import get_logger
 from ..obs.prometheus import render_prometheus
+from ..resilience.deadline import Deadline, deadline_scope
+from ..resilience.degrade import collecting, noted_count
+from ..resilience.errors import InjectedFault
+from ..resilience.faults import fault_point
 from ..tool.assistant import (
     AssistantResult,
     stage_alignment,
@@ -45,6 +49,14 @@ from .protocol import LayoutRequest, LayoutResponse, StageTiming
 
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 7861
+
+#: hard cap on one request line; beyond it the connection is refused
+#: with a typed error instead of buffering unboundedly
+MAX_REQUEST_BYTES = 1 << 20
+
+#: fraction of the hard request timeout handed to the solvers as a soft
+#: deadline, leaving headroom to assemble a degraded-but-valid response
+SOFT_DEADLINE_FRACTION = 0.8
 
 logger = get_logger("repro.service")
 
@@ -92,8 +104,12 @@ class LayoutService:
                 hit, value = (self.cache.load(name, key) if use_cache
                               else (False, None))
                 if not hit:
+                    before = noted_count()
                     value = compute()
-                    if use_cache:
+                    # Never cache a degraded stage output: a later
+                    # request with a full budget must recompute it, not
+                    # inherit this request's heuristic fallback.
+                    if use_cache and noted_count() == before:
                         self.cache.store(name, key, value)
                 seconds = perf_counter() - start
                 stage_span.set_attr("cache_hit", hit)
@@ -155,26 +171,45 @@ class LayoutService:
 
     # -- request handling ------------------------------------------------
 
+    def _request_deadline(
+        self, request: LayoutRequest
+    ) -> Optional[Deadline]:
+        """The solver time budget for one request: the explicit
+        ``deadline_s`` if given, else a soft fraction of the hard
+        request timeout (leaving headroom to build the degraded
+        response before the hard cutoff kills the thread)."""
+        if request.deadline_s is not None:
+            return Deadline(request.deadline_s)
+        if self.request_timeout is not None:
+            return Deadline(self.request_timeout * SOFT_DEADLINE_FRACTION)
+        return None
+
     def analyze(self, request: LayoutRequest) -> LayoutResponse:
         """Serve one analyze request (deadline-bounded, never raises).
 
         Every request runs under its own tracer: span durations feed the
         ``span_seconds`` aggregates in the metrics registry, and the
         full trace is attached to the response when the request asked
-        for it.  The tracer is activated *inside* the deadline thread
+        for it.  The tracer — like the deadline and the degradation
+        collector — is activated *inside* the pipeline thread
         (ContextVars do not cross threads on their own)."""
         self.metrics.inc("requests_total")
         start = perf_counter()
         tracer = tracing.Tracer(name="request")
+        deadline = self._request_deadline(request)
 
-        def pipeline() -> Tuple[AssistantResult, List[StageTiming]]:
+        def pipeline() -> Tuple[
+            AssistantResult, List[StageTiming], List[Dict[str, Any]]
+        ]:
             with tracing.activate(tracer):
-                with tracing.span(
-                    "request",
-                    request_id=request.request_id or "",
-                    program=request.program or "<source>",
-                ):
-                    return self._run_pipeline(request)
+                with deadline_scope(deadline), collecting() as events:
+                    with tracing.span(
+                        "request",
+                        request_id=request.request_id or "",
+                        program=request.program or "<source>",
+                    ):
+                        result, timings = self._run_pipeline(request)
+                    return result, timings, [e.to_dict() for e in events]
 
         try:
             try:
@@ -182,13 +217,13 @@ class LayoutService:
                     executor = ThreadPoolExecutor(max_workers=1)
                     try:
                         future = executor.submit(pipeline)
-                        result, timings = future.result(
+                        result, timings, degradations = future.result(
                             timeout=self.request_timeout
                         )
                     finally:
                         executor.shutdown(wait=False, cancel_futures=True)
                 else:
-                    result, timings = pipeline()
+                    result, timings, degradations = pipeline()
             except FuturesTimeoutError:
                 self.metrics.inc("requests_failed")
                 self.metrics.inc("requests_timeout")
@@ -215,9 +250,19 @@ class LayoutService:
         finally:
             self._fold_trace(tracer)
         self.metrics.inc("requests_ok")
+        if degradations:
+            self.metrics.inc("requests_degraded")
+            logger.warning(
+                "request %s degraded: %s",
+                request.request_id or "<anonymous>",
+                "; ".join(
+                    f"{d['stage']}:{d['reason']}" for d in degradations
+                ),
+            )
         self.metrics.observe_stage("request", perf_counter() - start)
         response = LayoutResponse.from_result(
-            result, timings, request_id=request.request_id
+            result, timings, request_id=request.request_id,
+            degradations=degradations,
         )
         if request.trace:
             response.trace = tracer.to_dict()
@@ -243,16 +288,39 @@ class LayoutService:
 
     def stats(self) -> Dict[str, Any]:
         pool = self.pool.describe()
+        cache_state = self.cache.describe()
         # Mirror pool health into gauges so silent process -> thread ->
         # serial fallbacks surface in every exposition of the registry.
         self.metrics.set_gauge("pool_degradations", pool["degradations"])
         self.metrics.set_gauge(
             "pool_active_serial", 1 if pool["active_kind"] == "serial" else 0
         )
+        # Breaker state as gauges: 0 closed, 1 open, 0.5 half-open.
+        state_value = {"closed": 0.0, "open": 1.0, "half-open": 0.5}
+        for label, breaker in (("pool", pool["breaker"]),
+                               ("cache", cache_state["breaker"])):
+            self.metrics.set_gauge(
+                f"breaker_{label}_open",
+                state_value.get(breaker["state"], 0.0),
+            )
+            self.metrics.set_gauge(
+                f"breaker_{label}_opens_total", breaker["opens_total"]
+            )
+            self.metrics.set_gauge(
+                f"breaker_{label}_rejections_total",
+                breaker["rejections_total"],
+            )
+        self.metrics.set_gauge(
+            "cache_quarantined_total", cache_state["quarantined_total"]
+        )
         snapshot = self.metrics.snapshot()
         snapshot["pool"] = pool
         snapshot["cache"]["disk_entries"] = self.cache.entry_count()
         snapshot["cache"]["dir"] = self.cache.root
+        snapshot["cache"]["breaker"] = cache_state["breaker"]
+        snapshot["cache"]["quarantined_total"] = (
+            cache_state["quarantined_total"]
+        )
         return snapshot
 
     def prometheus(self) -> str:
@@ -263,6 +331,13 @@ class LayoutService:
         """Dispatch one decoded protocol message."""
         op = payload.get("op", "analyze")
         logger.debug("handling op %r", op)
+        try:
+            fault_point("service.request")
+        except InjectedFault as exc:
+            self.metrics.inc("requests_failed")
+            return {"ok": False, "error": str(exc),
+                    "error_kind": exc.kind,
+                    "request_id": payload.get("request_id")}
         if op == "ping":
             return {"ok": True, "op": "ping"}
         if op == "stats":
@@ -286,7 +361,22 @@ class _RequestHandler(socketserver.StreamRequestHandler):
     carry any number of requests."""
 
     def handle(self) -> None:  # pragma: no cover - exercised via TCP tests
-        for raw in self.rfile:
+        while True:
+            # Bounded read: a line longer than MAX_REQUEST_BYTES gets a
+            # typed refusal and the connection closes (the remainder of
+            # the oversized line cannot be resynchronized).
+            raw = self.rfile.readline(MAX_REQUEST_BYTES + 1)
+            if not raw:
+                return
+            if len(raw) > MAX_REQUEST_BYTES:
+                self._reply({
+                    "ok": False,
+                    "error": (
+                        f"request line exceeds {MAX_REQUEST_BYTES} bytes"
+                    ),
+                    "error_kind": "request-too-large",
+                })
+                return
             line = raw.strip()
             if not line:
                 continue
@@ -297,8 +387,30 @@ class _RequestHandler(socketserver.StreamRequestHandler):
                              "error": f"bad JSON: {exc}",
                              "error_kind": "bad-request"})
                 continue
-            response = self.server.service.handle(payload)
-            self._reply(response)
+            try:
+                response = self.server.service.handle(payload)
+            except Exception as exc:  # defense in depth: never drop the
+                # connection without a typed reply
+                logger.warning("handler crashed: %s", exc)
+                response = {
+                    "ok": False,
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "error_kind": getattr(exc, "kind", "internal"),
+                }
+            try:
+                self._reply(response)
+            except InjectedFault as exc:
+                # the reply path itself faulted: try once to tell the
+                # client, then give the connection up cleanly
+                try:
+                    self.wfile.write(json.dumps({
+                        "ok": False, "error": str(exc),
+                        "error_kind": exc.kind,
+                    }).encode("utf-8") + b"\n")
+                    self.wfile.flush()
+                except OSError:
+                    pass
+                return
             if payload.get("op") == "shutdown":
                 threading.Thread(
                     target=self.server.shutdown, daemon=True
@@ -306,6 +418,7 @@ class _RequestHandler(socketserver.StreamRequestHandler):
                 return
 
     def _reply(self, payload: Dict[str, Any]) -> None:
+        fault_point("server.reply")
         self.wfile.write(json.dumps(payload).encode("utf-8") + b"\n")
         self.wfile.flush()
 

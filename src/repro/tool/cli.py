@@ -245,13 +245,15 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    from ..resilience.breaker import Backoff
     from ..service import LayoutServer, LayoutService, WorkerPool
 
     service = LayoutService(
         cache_dir=args.cache_dir,
         pool=WorkerPool(kind=args.pool, max_workers=args.workers,
                         job_timeout=args.job_timeout,
-                        retries=args.retries),
+                        retries=args.retries,
+                        backoff=Backoff(base_s=args.retry_backoff)),
         request_timeout=args.request_timeout,
         use_cache=not args.no_cache,
     )
@@ -294,6 +296,8 @@ def cmd_request(args: argparse.Namespace) -> int:
         payload["size"] = args.size
     if args.dtype is not None:
         payload["dtype"] = args.dtype
+    if args.deadline is not None:
+        payload["deadline_s"] = args.deadline
     try:
         resp = send_request(payload, host=args.host, port=args.port,
                             timeout=args.timeout)
@@ -422,6 +426,44 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     print(report.summary())
     if report.failures and args.out:
         print(f"repro cases written to {args.out}")
+    return 0 if report.ok else 1
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Replay seeded fault plans over the paper programs and assert the
+    resilience invariant (see ``repro.resilience.chaos``)."""
+    import json
+
+    from ..resilience import chaos
+
+    programs = args.programs or list(chaos.DEFAULT_PROGRAMS)
+    unknown = sorted(set(programs) - set(chaos.DEFAULT_PROGRAMS))
+    if unknown:
+        logger.error("unknown programs: %s (known: %s)",
+                     ", ".join(unknown),
+                     ", ".join(chaos.DEFAULT_PROGRAMS))
+        return 2
+
+    def progress(case) -> None:
+        if (case.index + 1) % 20 == 0:
+            logger.info("chaos: %d cases run", case.index + 1)
+
+    report = chaos.run_chaos(
+        cases=args.cases,
+        seed=args.seed,
+        programs=programs,
+        budget_s=args.budget,
+        case_timeout_s=args.case_timeout,
+        procs=args.procs,
+        artifact_dir=args.artifacts,
+        progress=progress,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+    if not report.ok and args.artifacts:
+        print(f"fault-plan artifacts written to {args.artifacts}")
     return 0 if report.ok else 1
 
 
@@ -724,6 +766,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="per-estimation-job timeout (s)")
     p_serve.add_argument("--retries", type=int, default=1,
                          help="retries for transient worker failures")
+    p_serve.add_argument("--retry-backoff", type=float, default=0.05,
+                         help="base seconds of the jittered exponential "
+                              "backoff between worker retries "
+                              "(0 disables waiting)")
     p_serve.add_argument("--request-timeout", type=float,
                          help="per-request deadline (s)")
     p_serve.add_argument("--no-cache", action="store_true",
@@ -739,6 +785,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                            help="print the raw JSON response")
     p_request.add_argument("--no-cache", action="store_true",
                            help="ask the service to bypass its cache")
+    p_request.add_argument("--deadline", type=float,
+                           help="solver budget in seconds; past it the "
+                                "response degrades to the best available "
+                                "answer instead of blocking")
     p_request.set_defaults(func=cmd_request)
 
     p_service = sub.add_parser(
@@ -787,6 +837,30 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="record the campaign's span trace to this "
                              "JSON file")
     p_fuzz.set_defaults(func=cmd_fuzz)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="replay seeded fault plans over the paper programs and "
+             "assert the resilience invariant",
+    )
+    p_chaos.add_argument("--seed", type=int, default=0,
+                         help="base seed; case i uses seed + i")
+    p_chaos.add_argument("--cases", type=int, default=50,
+                         help="maximum number of cases to run")
+    p_chaos.add_argument("--budget", type=_parse_budget,
+                         help="wall-clock budget, e.g. 60s or 2m "
+                              "(stops the campaign early)")
+    p_chaos.add_argument("--case-timeout", type=float, default=60.0,
+                         help="seconds before a case counts as a hang")
+    p_chaos.add_argument("--programs", nargs="*",
+                         help="paper programs to target (default: all)")
+    p_chaos.add_argument("--procs", type=int, default=4,
+                         help="number of processors for the pipeline")
+    p_chaos.add_argument("--artifacts",
+                         help="write violating fault plans here")
+    p_chaos.add_argument("--json", action="store_true",
+                         help="print the machine-readable report")
+    p_chaos.set_defaults(func=cmd_chaos)
 
     p_bench = sub.add_parser(
         "bench",
