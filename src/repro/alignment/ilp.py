@@ -210,22 +210,32 @@ def greedy_orientation(cag: CAG, d: int) -> Dict[Node, int]:
 
 
 def resolve_conflicts(
-    cag: CAG, d: int, backend: str = "scipy", name: str = "alignment"
+    cag: CAG, d: int, backend: str = "scipy", name: str = "alignment",
+    presolve: bool = True,
+    warm_start: Optional[Dict[str, int]] = None,
 ) -> AlignmentResolution:
     """Optimally resolve the inter-dimensional alignment conflicts of
     ``cag`` for a ``d``-dimensional template.
 
     Returns the conflict-free CAG obtained by removing the minimum-weight
-    set of partition-crossing edges, as chosen by the 0-1 solver.  If a
-    request deadline cut the solve short, the best incumbent (or the
-    greedy orientation) is used instead and the resolution is flagged
-    ``optimal=False`` with a degradation note.
+    set of partition-crossing edges, as chosen by the 0-1 solver.  With
+    ``presolve`` (the default) constraint propagation fixes forced
+    switch variables before the backend runs — for rank-1 templates the
+    whole model usually collapses without a solver call; the solution is
+    identical either way.  ``warm_start`` seeds a branch-bound solve
+    with a known feasible variable assignment.  If a request deadline
+    cut the solve short, the best incumbent (or the greedy orientation)
+    is used instead and the resolution is flagged ``optimal=False`` with
+    a degradation note.
     """
     with obs_span("alignment.resolve", name=name, template_rank=d) as sp:
         ilp = build_alignment_model(cag, d, name=name)
         sp.set_attr("variables", ilp.num_variables)
         sp.set_attr("constraints", ilp.num_constraints)
-        solution = ilp_solve(ilp.model, backend=backend)
+        solution = ilp_solve(
+            ilp.model, backend=backend, presolve=presolve,
+            warm_start=warm_start,
+        )
         optimal = solution.is_optimal
         if solution.has_incumbent:
             assignment: Dict[Node, int] = {}

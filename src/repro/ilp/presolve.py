@@ -1,0 +1,227 @@
+"""Constraint-propagation presolve for 0-1 models.
+
+Before a model reaches a backend, a cheap propagation pass can often fix
+a large share of its variables outright — in the style of the
+constraint-network propagation Chen & Kandemir apply to memory-layout
+0-1 programs.  Three sound, optimum-preserving rules run to a fixpoint:
+
+* **row-bound propagation** — for every constraint, the min/max
+  achievable LHS over free variables; if setting a free variable to one
+  of its values makes the row unsatisfiable under every completion, the
+  variable is *forced* to the other value (this subsumes singleton rows
+  such as the selection model's ``forbid`` constraints);
+* **vacuous-row removal** — rows satisfied by every completion of the
+  remaining free variables are dropped;
+* **objective fixing** — a free variable appearing in no remaining row
+  is fixed to its favourable value (ties resolve to 1, matching the
+  branch-bound backend's canonical lexicographically-greatest rule).
+
+Only *forced* variables are fixed, so every feasible completion — and in
+particular every optimum, including the canonical one — survives; the
+presolved solve returns exactly the solution the unpresolved one would.
+
+The reduced model keeps the surviving variables in their original
+insertion order, which preserves the branch-bound backend's canonical
+tie-breaking semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .model import (
+    MAXIMIZE,
+    Constraint,
+    Solution,
+    SolveStats,
+    ZeroOneModel,
+)
+
+_EPS = 1e-9
+
+
+@dataclass
+class PresolveResult:
+    """Outcome of :func:`presolve_model`: the reduced model plus the map
+    back to the original variable space."""
+
+    original: ZeroOneModel
+    model: ZeroOneModel  # reduced model over the free variables
+    fixed: Dict[str, int]  # variables the presolve proved
+    rows_dropped: int = 0
+    infeasible: bool = False
+
+    @property
+    def solved(self) -> bool:
+        """Did presolve fix every variable?"""
+        return not self.infeasible and self.model.num_variables == 0
+
+    def expand(self, sub: Solution) -> Solution:
+        """Lift a reduced-model solution back to the original model."""
+        if not sub.has_incumbent:
+            return Solution(
+                status=sub.status,
+                objective=sub.objective,
+                values={},
+                stats=sub.stats,
+            )
+        values = dict(self.fixed)
+        values.update(sub.values)
+        return Solution(
+            status=sub.status,
+            objective=self.original.objective_value(values),
+            values=values,
+            stats=sub.stats,
+        )
+
+    def trivial_solution(self) -> Solution:
+        """The full solution when presolve fixed everything."""
+        assert self.solved
+        return Solution(
+            status="optimal",
+            objective=self.original.objective_value(self.fixed),
+            values=dict(self.fixed),
+            stats=SolveStats(backend="presolve"),
+        )
+
+    def infeasible_solution(self) -> Solution:
+        assert self.infeasible
+        return Solution(
+            status="infeasible",
+            objective=float("nan"),
+            values={},
+            stats=SolveStats(backend="presolve"),
+        )
+
+
+def presolve_model(model: ZeroOneModel) -> PresolveResult:
+    """Propagate constraints to fix and prune 0-1 variables.
+
+    Returns a :class:`PresolveResult` whose ``model`` is the reduced
+    program over the still-free variables (empty when presolve solved —
+    or refuted — the instance outright).
+    """
+    names = model.variables
+    index = {v: i for i, v in enumerate(names)}
+    n = len(names)
+    FREE = -1
+    assign = [FREE] * n
+
+    rows: List[Tuple[List[Tuple[int, float]], float, float, Constraint]] = []
+    for con in model.constraints:
+        coeffs = [(index[v], c) for v, c in con.coeffs if c != 0.0]
+        lo, hi = -float("inf"), float("inf")
+        if con.sense == "<=":
+            hi = con.rhs
+        elif con.sense == ">=":
+            lo = con.rhs
+        else:
+            lo = hi = con.rhs
+        rows.append((coeffs, lo, hi, con))
+
+    def fixpoint() -> bool:
+        """Row-bound forcing to a fixpoint; False on infeasibility."""
+        changed = True
+        while changed:
+            changed = False
+            for coeffs, lo, hi, _con in rows:
+                base = 0.0
+                min_add = 0.0
+                max_add = 0.0
+                free_vars: List[Tuple[int, float]] = []
+                for v, c in coeffs:
+                    a = assign[v]
+                    if a == FREE:
+                        free_vars.append((v, c))
+                        if c > 0:
+                            max_add += c
+                        else:
+                            min_add += c
+                    elif a == 1:
+                        base += c
+                if base + min_add > hi + _EPS or base + max_add < lo - _EPS:
+                    return False
+                for v, c in free_vars:
+                    one_min = base + min_add + (c if c > 0 else 0.0)
+                    one_max = base + max_add + (c if c < 0 else 0.0)
+                    if one_min > hi + _EPS or one_max < lo - _EPS:
+                        assign[v] = 0
+                        changed = True
+                        continue
+                    zero_min = base + min_add - (c if c < 0 else 0.0)
+                    zero_max = base + max_add - (c if c > 0 else 0.0)
+                    if zero_min > hi + _EPS or zero_max < lo - _EPS:
+                        assign[v] = 1
+                        changed = True
+        return True
+
+    if not fixpoint():
+        return PresolveResult(
+            original=model,
+            model=ZeroOneModel(name=f"{model.name}:presolved",
+                               sense=model.sense),
+            fixed={},
+            infeasible=True,
+        )
+
+    # Partition rows into vacuous (satisfied by every completion of the
+    # free variables) and surviving; fold fixed variables into the RHS.
+    surviving: List[Tuple[Dict[str, float], str, float, str]] = []
+    dropped = 0
+    for coeffs, lo, hi, con in rows:
+        base = 0.0
+        min_add = 0.0
+        max_add = 0.0
+        free_coeffs: Dict[str, float] = {}
+        for v, c in coeffs:
+            a = assign[v]
+            if a == FREE:
+                free_coeffs[names[v]] = free_coeffs.get(names[v], 0.0) + c
+                if c > 0:
+                    max_add += c
+                else:
+                    min_add += c
+            elif a == 1:
+                base += c
+        if base + min_add >= lo - _EPS and base + max_add <= hi + _EPS:
+            dropped += 1  # vacuous under every completion
+            continue
+        surviving.append(
+            (free_coeffs, con.sense, con.rhs - base, con.name)
+        )
+
+    # Objective fixing: free variables in no surviving row take their
+    # favourable value (1 on ties — the canonical branch-bound choice).
+    in_rows = set()
+    for free_coeffs, _sense, _rhs, _name in surviving:
+        in_rows.update(free_coeffs)
+    sign = 1.0 if model.sense == MAXIMIZE else -1.0
+    for v in range(n):
+        if assign[v] != FREE or names[v] in in_rows:
+            continue
+        gain = sign * model.objective.get(names[v], 0.0)
+        assign[v] = 1 if gain >= 0.0 else 0
+
+    fixed = {names[v]: assign[v] for v in range(n) if assign[v] != FREE}
+
+    reduced = ZeroOneModel(
+        name=f"{model.name}:presolved", sense=model.sense
+    )
+    for v in range(n):
+        if assign[v] == FREE:
+            reduced.add_var(names[v])
+    for free_coeffs, sense, rhs, name in surviving:
+        reduced.add_constraint(free_coeffs, sense, rhs, name=name)
+    objective = {
+        var: coeff
+        for var, coeff in model.objective.items()
+        if var not in fixed
+    }
+    reduced.set_objective(objective)
+    return PresolveResult(
+        original=model,
+        model=reduced,
+        fixed=fixed,
+        rows_dropped=dropped,
+    )

@@ -1,0 +1,331 @@
+"""Batched (vectorized) candidate pricing for the execution model.
+
+The scalar path (:func:`repro.perf.execution_model.price_phase`) prices
+one candidate at a time, issuing one ``db.predict`` call — a dict lookup
+plus a scalar interpolation — per communication event.  For a phase with
+many candidates that is the estimator's hot loop.
+
+The batched path prices **all candidates of a phase in one batch**:
+
+1. *collect* — replay the execution-model walk over every compiled
+   candidate with a recording predictor, producing the exact stream of
+   prediction requests the scalar path would issue (the stream is a pure
+   function of the compiled structure: even the coarse-grain pipeline
+   blocking search issues one statically known request per block
+   factor);
+2. *price* — group the requests of the whole batch by training set
+   (pattern, procs, stride, latency) into a :class:`CostTable` and
+   evaluate each group with one vectorized
+   :meth:`~repro.perf.training.TrainingSet.predict_many` call;
+3. *assemble* — replay the same walk with the precomputed values.
+
+Because ``predict_many`` matches ``predict`` bit for bit and the
+assembly replays the scalar arithmetic in the scalar order, the batched
+estimates are **exactly** equal to the scalar ones — the property the
+equivalence suite (and the ``estimator-batch`` fuzz check) enforces.
+The scalar path stays available behind ``AssistantConfig``'s
+``estimation_mode="scalar"`` flag as the differential reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.phases import Phase
+from ..codegen.comm import (
+    BroadcastComm,
+    GatherComm,
+    ReductionComm,
+    ShiftComm,
+)
+from ..codegen.spmd import CompiledPhase
+from ..distribution.search_space import CandidateLayout
+from ..frontend.symbols import SymbolTable
+from ..machine.params import MachineParams
+from ..obs import tracing
+from .compiler_model import CompilerOptions, model_phase
+from .execution_model import (
+    LOOSELY_SYNCHRONOUS,
+    PIPELINED,
+    REDUCTION,
+    SEQUENTIALIZED,
+    PhaseEstimate,
+    _plan_compute,
+    _stride_of,
+)
+from .training import TrainingDatabase
+
+#: one prediction request: the exact arguments of a ``db.predict`` call
+Request = Tuple[str, int, int, str, str]  # pattern, procs, nbytes, stride, latency
+
+
+class _Collect:
+    """Predictor that records requests and returns a placeholder."""
+
+    __slots__ = ("requests",)
+
+    def __init__(self) -> None:
+        self.requests: List[Request] = []
+
+    def predict(self, pattern: str, procs: int, nbytes: int,
+                stride: str = "unit", latency: str = "high") -> float:
+        self.requests.append((pattern, procs, nbytes, stride, latency))
+        return 0.0
+
+
+class _Replay:
+    """Predictor that replays precomputed values in request order."""
+
+    __slots__ = ("values", "pos")
+
+    def __init__(self, values: Sequence[float], pos: int) -> None:
+        self.values = values
+        self.pos = pos
+
+    def predict(self, pattern: str, procs: int, nbytes: int,
+                stride: str = "unit", latency: str = "high") -> float:
+        value = self.values[self.pos]
+        self.pos += 1
+        return value
+
+
+def _pipeline_time_via(plan, predictor, nprocs: int,
+                       options: CompilerOptions) -> Tuple[float, str]:
+    """The execution model's pipeline closed form over a predictor.
+
+    Identical arithmetic to ``execution_model._pipeline_time`` except the
+    coarse-grain branch reuses the per-block-factor prediction for the
+    chosen factor instead of re-predicting it (``db.predict`` is
+    deterministic, so the value is the same double) — which makes the
+    request stream independent of the predicted values.
+    """
+    pipe = plan.pipeline
+    assert pipe is not None
+    stages = max(pipe.stages, 1) * max(pipe.rounds, 1)
+    iters = plan.total_iterations() * plan.guard_probability
+    divisor = max(plan.partition_divisor(), 1)
+    chain_procs = pipe.chain_procs or nprocs
+    chunk = (iters / divisor / stages) * plan.per_iter_cost
+    msg_bytes = pipe.msg_bytes
+    if options.coarse_grain_pipelining and stages > 1:
+        best = None
+        b = 1
+        while b <= stages:
+            t = predictor.predict(
+                "sendrecv", nprocs, msg_bytes * b,
+                stride=_stride_of(pipe.buffered), latency="low",
+            )
+            total = (stages / b + chain_procs - 1) * (chunk * b + t)
+            if best is None or total < best[0]:
+                best = (total, b, t)
+            b *= 2
+        assert best is not None
+        stages_eff = stages / best[1]
+        chunk_eff = chunk * best[1]
+        return (stages_eff + chain_procs - 1) * (chunk_eff + best[2]), \
+            PIPELINED
+    if stages == 1:
+        t_msg = predictor.predict(
+            "sendrecv", nprocs, msg_bytes,
+            stride=_stride_of(pipe.buffered), latency="high",
+        )
+        return chain_procs * (chunk + t_msg), SEQUENTIALIZED
+    t_msg = predictor.predict(
+        "sendrecv", nprocs, msg_bytes,
+        stride=_stride_of(pipe.buffered), latency="low",
+    )
+    return (stages + chain_procs - 1) * (chunk + t_msg), PIPELINED
+
+
+def _price_phase_via(predictor, compiled: CompiledPhase, nprocs: int,
+                     options: CompilerOptions) -> PhaseEstimate:
+    """``execution_model.price_phase`` with predictions routed through
+    ``predictor`` — the shared walk of the collect and assemble passes."""
+    estimate = PhaseEstimate(
+        phase_index=compiled.phase_index, exec_class=LOOSELY_SYNCHRONOUS
+    )
+    has_reduction = False
+
+    events = []
+    seen = set()
+    for plan in compiled.plans:
+        for event in plan.comms:
+            if options.message_coalescing:
+                if event in seen:
+                    continue
+                seen.add(event)
+            events.append((event, plan))
+
+    for event, plan in events:
+        if isinstance(event, ShiftComm):
+            procs = event.procs or nprocs
+            if options.message_vectorization:
+                estimate.communication += predictor.predict(
+                    "shift", procs, event.nbytes,
+                    stride=_stride_of(event.buffered), latency="high",
+                )
+            else:
+                count = max(plan.other_iterations(), 1)
+                elem = max(event.nbytes // max(plan.other_iterations(), 1), 1)
+                estimate.communication += count * predictor.predict(
+                    "shift", procs, elem, stride="unit", latency="high",
+                )
+        elif isinstance(event, BroadcastComm):
+            estimate.communication += predictor.predict(
+                "broadcast", event.procs or nprocs, event.nbytes,
+                stride=_stride_of(event.buffered), latency="high",
+            )
+        elif isinstance(event, GatherComm):
+            estimate.communication += predictor.predict(
+                "transpose", event.procs or nprocs, event.local_bytes,
+                stride=_stride_of(event.buffered), latency="high",
+            )
+        elif isinstance(event, ReductionComm):
+            has_reduction = True
+            estimate.communication += predictor.predict(
+                "reduction", nprocs, event.nbytes, latency="high"
+            ) + predictor.predict(
+                "broadcast", nprocs, event.nbytes, latency="high"
+            )
+
+    for plan in compiled.plans:
+        if plan.pipeline is not None:
+            time, klass = _pipeline_time_via(
+                plan, predictor, nprocs, options
+            )
+            estimate.pipeline += time
+            if estimate.exec_class == LOOSELY_SYNCHRONOUS or (
+                klass == SEQUENTIALIZED
+            ):
+                estimate.exec_class = klass
+        else:
+            estimate.compute += _plan_compute(plan, nprocs)
+
+    if has_reduction and estimate.exec_class == LOOSELY_SYNCHRONOUS:
+        estimate.exec_class = REDUCTION
+    return estimate
+
+
+@dataclass
+class CostTable:
+    """Vectorized predictions for one batch of requests.
+
+    ``values[i]`` is exactly ``db.predict(*requests[i])``; the table is
+    grouped by training set so each group costs one ``np.interp`` call
+    regardless of how many candidates share it.
+    """
+
+    values: List[float]
+    requests: int
+    groups: int
+
+
+def price_requests(
+    db: TrainingDatabase, requests: Sequence[Request]
+) -> CostTable:
+    """Evaluate a request batch against the training database.
+
+    Requests are grouped by (pattern, procs, stride, latency) — one
+    resolved training set each — and each group is priced with a single
+    vectorized ``predict_many`` call; single-processor requests are 0.0
+    by definition (``TrainingDatabase.predict`` semantics).
+    """
+    values = [0.0] * len(requests)
+    groups: Dict[Tuple[str, int, str, str],
+                 Tuple[object, List[int], List[int]]] = {}
+    for i, (pattern, procs, nbytes, stride, latency) in enumerate(requests):
+        if procs <= 1:
+            continue
+        key = (pattern, procs, stride, latency)
+        entry = groups.get(key)
+        if entry is None:
+            tset = db.lookup(pattern, procs, stride, latency)
+            entry = groups[key] = (tset, [], [])
+        entry[1].append(i)
+        entry[2].append(nbytes)
+    for tset, idxs, sizes in groups.values():
+        out = tset.predict_many(np.array(sizes, dtype=np.float64))
+        for i, value in zip(idxs, out.tolist()):
+            values[i] = value
+    return CostTable(
+        values=values, requests=len(requests), groups=len(groups)
+    )
+
+
+def estimate_phase_candidates_batched(
+    phase: Phase,
+    candidates: Sequence[CandidateLayout],
+    symbols: SymbolTable,
+    params: MachineParams,
+    db: TrainingDatabase,
+    nprocs: int,
+    options: CompilerOptions,
+) -> List["object"]:
+    """Price every candidate of one phase in a single batch.
+
+    Pure like the scalar :func:`~repro.perf.estimator.
+    estimate_phase_candidates` (safe to ship to any worker) and exactly
+    equal to it on every cost component.
+    """
+    from .estimator import EstimatedCandidate
+
+    with tracing.span(
+        "estimate.batch", phase=phase.index, candidates=len(candidates)
+    ) as sp:
+        compiled = [
+            model_phase(phase, candidate.layout, symbols, params)
+            for candidate in candidates
+        ]
+        collector = _Collect()
+        bounds: List[Tuple[int, int]] = []
+        for comp in compiled:
+            start = len(collector.requests)
+            _price_phase_via(collector, comp, nprocs, options)
+            bounds.append((start, len(collector.requests)))
+        table = price_requests(db, collector.requests)
+        sp.set_attr("requests", table.requests)
+        sp.set_attr("tables", table.groups)
+        estimates = []
+        for candidate, comp, (start, end) in zip(
+            candidates, compiled, bounds
+        ):
+            replay = _Replay(table.values, start)
+            estimate = _price_phase_via(replay, comp, nprocs, options)
+            assert replay.pos == end, "collect/assemble request mismatch"
+            if tracing.active():
+                tracing.add_event(
+                    "estimate.candidate",
+                    phase=phase.index,
+                    position=candidate.position,
+                    label=candidate.label,
+                    total_us=estimate.total,
+                )
+            estimates.append(
+                EstimatedCandidate(candidate=candidate, estimate=estimate)
+            )
+    return estimates
+
+
+def estimate_phase_batch(
+    chunk: Sequence[Tuple[Phase, Sequence[CandidateLayout]]],
+    symbols: SymbolTable,
+    params: MachineParams,
+    db: TrainingDatabase,
+    nprocs: int,
+    options: CompilerOptions,
+) -> List[List["object"]]:
+    """Pure batch job: price several phases in one worker job.
+
+    The batched estimator replaces the scalar path's one-job-per-phase
+    fan-out with fewer, larger jobs — the per-job fixed costs (pickling
+    the training database, span bookkeeping) amortize over the chunk.
+    """
+    return [
+        estimate_phase_candidates_batched(
+            phase, candidates, symbols, params, db, nprocs, options
+        )
+        for phase, candidates in chunk
+    ]

@@ -21,12 +21,14 @@ Driven by the ``repro bench`` CLI subcommand (``run`` / ``compare`` /
 
 from .baseline import (
     BENCH_SCHEMA,
+    BenchInputError,
     BenchValidationError,
     append_run,
     bench_path,
     discover,
     latest_results,
     load_bench_file,
+    load_latest_results,
     new_run,
     run_meta,
     validate_bench_file,
@@ -58,12 +60,13 @@ from .suite import (
 from .timer import Measurement, mad, measure, measure_memory, median
 
 __all__ = [
-    "BENCH_SCHEMA", "BENCH_SIZES", "BenchCase", "BenchValidationError",
-    "Measurement", "ProfileResult", "QA_SEEDS", "RegressionReport",
-    "STAGE_NAMES", "Thresholds", "Verdict", "append_run", "bench_path",
-    "build_suite", "compare_results", "default_bench_config", "discover",
-    "format_compare", "format_profile", "format_run", "latest_results",
-    "load_bench_file", "mad", "measure", "measure_memory", "median",
+    "BENCH_SCHEMA", "BENCH_SIZES", "BenchCase", "BenchInputError",
+    "BenchValidationError", "Measurement", "ProfileResult", "QA_SEEDS",
+    "RegressionReport", "STAGE_NAMES", "Thresholds", "Verdict",
+    "append_run", "bench_path", "build_suite", "compare_results",
+    "default_bench_config", "discover", "format_compare",
+    "format_profile", "format_run", "latest_results", "load_bench_file",
+    "load_latest_results", "mad", "measure", "measure_memory", "median",
     "new_run", "parse_threshold_overrides", "profile_call",
     "render_bench_prometheus", "results_to_metrics", "run_meta",
     "run_suite", "validate_bench_file", "write_bench_file",

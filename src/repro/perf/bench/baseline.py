@@ -60,6 +60,26 @@ class BenchValidationError(ValueError):
     """A bench file does not conform to the v1 schema."""
 
 
+class BenchInputError(RuntimeError):
+    """A compare/gate input trajectory is unusable.
+
+    Raised by :func:`load_latest_results` instead of the raw
+    ``FileNotFoundError`` / ``json.JSONDecodeError`` /
+    :class:`BenchValidationError` /
+    :class:`~repro.resilience.errors.CorruptStateError` so CLI callers
+    can turn any bad ``--baseline`` / ``--current`` into one clean
+    diagnostic and a nonzero exit.  ``kind`` names the failure class:
+    ``missing``, ``unreadable``, ``invalid-json``, ``schema`` or
+    ``corrupt``.
+    """
+
+    def __init__(self, path: str, kind: str, detail: str):
+        self.path = path
+        self.kind = kind
+        self.detail = detail
+        super().__init__(f"bench file {path!r} ({kind}): {detail}")
+
+
 def bench_path(label: str, root: str = ".") -> str:
     """The canonical path of one label's trajectory file."""
     if not _LABEL_RE.match(label):
@@ -262,6 +282,41 @@ def append_run(
     return path
 
 
+def load_latest_results(path: str, role: str = "baseline") -> Dict[str, Any]:
+    """The newest run's results of the trajectory at ``path``, with
+    every load failure normalised to :class:`BenchInputError`.
+
+    ``role`` ("baseline" or "current") only flavours the message so the
+    CLI diagnostic says which flag pointed at the bad file.
+    """
+    try:
+        data = load_bench_file(path)
+        return latest_results(data)
+    except FileNotFoundError:
+        raise BenchInputError(
+            path, "missing",
+            f"no such {role} file — run `repro bench run` to record one, "
+            "or pass an existing label/path",
+        ) from None
+    except json.JSONDecodeError as exc:
+        raise BenchInputError(
+            path, "invalid-json", f"{role} is not valid JSON: {exc}"
+        ) from exc
+    except CorruptStateError as exc:
+        raise BenchInputError(
+            path, "corrupt", f"{role} failed its integrity check: {exc}"
+        ) from exc
+    except BenchValidationError as exc:
+        raise BenchInputError(
+            path, "schema",
+            f"{role} does not match the {BENCH_SCHEMA!r} schema: {exc}",
+        ) from exc
+    except OSError as exc:
+        raise BenchInputError(
+            path, "unreadable", f"cannot read {role}: {exc}"
+        ) from exc
+
+
 def latest_results(data: Mapping[str, Any]) -> Dict[str, Any]:
     """The results mapping of the newest run in a trajectory."""
     runs = data.get("runs") or []
@@ -271,7 +326,8 @@ def latest_results(data: Mapping[str, Any]) -> Dict[str, Any]:
 
 
 __all__ = [
-    "BENCH_PREFIX", "BENCH_SCHEMA", "BenchValidationError", "append_run",
-    "bench_path", "discover", "latest_results", "load_bench_file",
+    "BENCH_PREFIX", "BENCH_SCHEMA", "BenchInputError",
+    "BenchValidationError", "append_run", "bench_path", "discover",
+    "latest_results", "load_bench_file", "load_latest_results",
     "new_run", "run_meta", "validate_bench_file", "write_bench_file",
 ]

@@ -96,6 +96,17 @@ def estimate_phase_candidates(
 JobRunner = Callable[[Callable[..., object], Sequence[Tuple]], List]
 
 
+#: estimation modes: "batched" prices each phase's candidates through the
+#: vectorized cost tables (the default); "scalar" is the legacy
+#: per-candidate loop, kept as the differential reference.
+ESTIMATION_MODES = ("batched", "scalar")
+
+#: upper bound on the number of worker jobs a batched fan-out submits;
+#: phases are grouped into contiguous chunks so per-job fixed costs
+#: amortize (the scalar mode keeps its one-job-per-phase shape).
+_MAX_BATCH_JOBS = 8
+
+
 def estimate_search_spaces(
     phases: Sequence[Phase],
     spaces: LayoutSearchSpaces,
@@ -104,34 +115,73 @@ def estimate_search_spaces(
     db: Optional[TrainingDatabase] = None,
     options: CompilerOptions = FORTRAN_D_PROTOTYPE,
     job_runner: Optional[JobRunner] = None,
+    mode: str = "batched",
 ) -> EstimationResult:
     """Price every candidate layout of every phase.
 
-    With ``job_runner`` the per-phase pricing fans out as independent
-    jobs (one per phase); without it the same jobs run serially.  Both
-    paths execute :func:`estimate_phase_candidates` on identical inputs,
-    so costs are bitwise-equal either way.
+    With ``job_runner`` the pricing fans out as independent jobs —
+    one per phase in ``scalar`` mode, one per contiguous phase chunk in
+    ``batched`` mode; without it the same jobs run serially.  All four
+    paths (mode x serial/parallel) produce bitwise-equal costs.
     """
+    if mode not in ESTIMATION_MODES:
+        raise ValueError(
+            f"unknown estimation mode {mode!r}; "
+            f"available: {list(ESTIMATION_MODES)}"
+        )
+    from .batch import estimate_phase_batch, estimate_phase_candidates_batched
+
     db = db or cached_training_database(params)
     nprocs = spaces.nprocs
     phase_by_index = {p.index: p for p in phases}
     items = sorted(spaces.per_phase.items())
-    argtuples = [
-        (phase_by_index[idx], candidates, symbols, params, db, nprocs,
-         options)
-        for idx, candidates in items
-    ]
-    with tracing.span(
-        "estimation.fanout",
-        jobs=len(argtuples),
-        parallel=job_runner is not None,
-    ):
+    if mode == "batched":
+        pairs = [
+            (phase_by_index[idx], candidates) for idx, candidates in items
+        ]
         if job_runner is None:
-            results = [
-                estimate_phase_candidates(*args) for args in argtuples
-            ]
+            with tracing.span(
+                "estimation.fanout", jobs=len(pairs), parallel=False,
+            ):
+                results = [
+                    estimate_phase_candidates_batched(
+                        phase, candidates, symbols, params, db, nprocs,
+                        options,
+                    )
+                    for phase, candidates in pairs
+                ]
         else:
-            results = job_runner(estimate_phase_candidates, argtuples)
+            chunk_size = -(-len(pairs) // _MAX_BATCH_JOBS) or 1
+            chunks = [
+                pairs[i:i + chunk_size]
+                for i in range(0, len(pairs), chunk_size)
+            ]
+            argtuples = [
+                (chunk, symbols, params, db, nprocs, options)
+                for chunk in chunks
+            ]
+            with tracing.span(
+                "estimation.fanout", jobs=len(chunks), parallel=True,
+            ):
+                chunked = job_runner(estimate_phase_batch, argtuples)
+            results = [est for chunk in chunked for est in chunk]
+    else:
+        argtuples = [
+            (phase_by_index[idx], candidates, symbols, params, db, nprocs,
+             options)
+            for idx, candidates in items
+        ]
+        with tracing.span(
+            "estimation.fanout",
+            jobs=len(argtuples),
+            parallel=job_runner is not None,
+        ):
+            if job_runner is None:
+                results = [
+                    estimate_phase_candidates(*args) for args in argtuples
+                ]
+            else:
+                results = job_runner(estimate_phase_candidates, argtuples)
     per_phase: Dict[int, List[EstimatedCandidate]] = {
         idx: estimates for (idx, _), estimates in zip(items, results)
     }

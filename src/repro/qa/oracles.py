@@ -232,6 +232,32 @@ def best_selection(
     return best_cost, best_sel
 
 
+def exact_best_selection(
+    graph: DataLayoutGraph,
+) -> Tuple[float, Dict[int, int]]:
+    """Exhaustive optimum under the *canonical* tie-break.
+
+    Unlike :func:`best_selection` (which keeps the first selection
+    within ``_TOL`` of the running minimum), this variant compares costs
+    exactly, so first-wins enumeration order yields the
+    lexicographically smallest exact optimum — the same certificate the
+    presolved and warm-started solvers promise.  Used by the presolve
+    soundness checks, which reason about candidates that appear in
+    *every* exact optimum.
+    """
+    phases = sorted(graph.node_costs)
+    options = [range(len(graph.node_costs[p])) for p in phases]
+    best_cost = float("inf")
+    best_sel: Dict[int, int] = {}
+    for combo in itertools.product(*options):
+        selection = dict(zip(phases, combo))
+        cost = graph.evaluate(selection)
+        if cost < best_cost:
+            best_cost = cost
+            best_sel = selection
+    return best_cost, best_sel
+
+
 def check_selection(
     graph: DataLayoutGraph,
     backend: str = "scipy",

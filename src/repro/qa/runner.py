@@ -29,6 +29,9 @@ from ..frontend import ast
 from ..frontend.parser import parse_source
 from ..frontend.printer import format_program
 from ..obs.tracing import add_event as obs_event, span as obs_span
+from ..perf.estimator import estimate_search_spaces
+from ..selection.ilp import select_layouts
+from ..selection.presolve import presolve_selection
 from ..tool.assistant import AssistantConfig, AssistantResult, run_assistant
 from . import metamorphic as mm
 from . import oracles
@@ -43,6 +46,9 @@ ALL_CHECKS = (
     "pipeline",
     "alignment-oracle",
     "selection-oracle",
+    "estimator-batch",
+    "selection-presolve",
+    "warm-start",
     "rename-arrays",
     "relabel-loop-vars",
     "scale-trip-counts",
@@ -149,6 +155,143 @@ def _selection_divergence(
     return None if divergence is None else str(divergence)
 
 
+def _estimator_batch_divergence(result: AssistantResult) -> Optional[str]:
+    """Property: the batched estimator equals the legacy scalar one,
+    cost component by cost component, *bitwise* — not approximately."""
+    scalar = estimate_search_spaces(
+        result.partition.phases, result.layout_spaces, result.symbols,
+        result.config.machine, db=result.db,
+        options=result.config.compiler, mode="scalar",
+    )
+    batched = estimate_search_spaces(
+        result.partition.phases, result.layout_spaces, result.symbols,
+        result.config.machine, db=result.db,
+        options=result.config.compiler, mode="batched",
+    )
+    if sorted(scalar.per_phase) != sorted(batched.per_phase):
+        return "estimators priced different phase sets"
+    for idx in sorted(scalar.per_phase):
+        s_list = scalar.per_phase[idx]
+        b_list = batched.per_phase[idx]
+        if len(s_list) != len(b_list):
+            return (f"phase {idx}: {len(s_list)} scalar vs "
+                    f"{len(b_list)} batched candidates")
+        for pos, (s, b) in enumerate(zip(s_list, b_list)):
+            se, be = s.estimate, b.estimate
+            if (se.compute != be.compute
+                    or se.communication != be.communication
+                    or se.pipeline != be.pipeline
+                    or se.exec_class != be.exec_class):
+                return (
+                    f"phase {idx} candidate {pos}: scalar "
+                    f"(compute={se.compute!r}, comm={se.communication!r}, "
+                    f"pipeline={se.pipeline!r}, class={se.exec_class}) != "
+                    f"batched (compute={be.compute!r}, "
+                    f"comm={be.communication!r}, pipeline={be.pipeline!r}, "
+                    f"class={be.exec_class})"
+                )
+    return None
+
+
+def _presolve_divergence(
+    result: AssistantResult, backend: str,
+    report: Optional[FuzzReport] = None,
+) -> Optional[str]:
+    """Presolve soundness: the graph-presolve path must reproduce the
+    unpresolved ILP's canonical selection and objective exactly, and
+    every presolve-fixed phase must carry the same candidate in the
+    brute-force oracle's optimal certificate."""
+    graph = result.graph
+    if (
+        oracles.selection_combination_count(graph)
+        > oracles.MAX_SELECTION_COMBINATIONS
+    ):
+        if report is not None:
+            report.skip("selection-presolve")
+        return None
+    if not graph.node_costs:
+        return None
+    ref = select_layouts(graph, backend=backend, presolve=False)
+    fast = select_layouts(graph, backend=backend, presolve=True)
+    if fast.selection != ref.selection:
+        return (f"presolved selection {fast.selection} != "
+                f"unpresolved {ref.selection}")
+    if fast.objective != ref.objective:
+        return (f"presolved objective {fast.objective!r} != "
+                f"unpresolved {ref.objective!r}")
+    oracle_cost, oracle_sel = oracles.exact_best_selection(graph)
+    pre = presolve_selection(graph)
+    for phase_index, cand in sorted(pre.fixed.items()):
+        if oracle_sel.get(phase_index) != cand:
+            return (
+                f"presolve fixed phase {phase_index} to candidate "
+                f"{cand} but the oracle certificate selects "
+                f"{oracle_sel.get(phase_index)}"
+            )
+    if fast.objective != oracle_cost:
+        return (f"presolved objective {fast.objective!r} != exhaustive "
+                f"optimum {oracle_cost!r}")
+    return None
+
+
+def _warm_start_divergence(
+    result: AssistantResult, backend: str,
+    report: Optional[FuzzReport] = None,
+) -> Optional[str]:
+    """Warm starts must never change the canonical answer: seeding the
+    solver with the optimum itself, or with a deliberately shifted
+    feasible selection, yields the identical result — on the default
+    backend and on branch-bound (the one that actually consumes
+    seeds)."""
+    graph = result.graph
+    if (
+        oracles.selection_combination_count(graph)
+        > oracles.MAX_SELECTION_COMBINATIONS
+    ):
+        if report is not None:
+            report.skip("warm-start")
+        return None
+    if not graph.node_costs:
+        return None
+    cold = select_layouts(graph, backend=backend, presolve=True)
+    shifted = {
+        p: (c + 1) % len(graph.node_costs[p])
+        for p, c in cold.selection.items()
+    }
+    small = (
+        oracles.selection_combination_count(graph) <= 2_000
+    )
+    seeds = [("optimal", cold.selection), ("shifted", shifted)]
+    for seed_name, seed in seeds:
+        for be in (backend, "branch-bound"):
+            warm = select_layouts(
+                graph, backend=be, presolve=True, warm_start=seed
+            )
+            if (warm.selection != cold.selection
+                    or warm.objective != cold.objective):
+                return (
+                    f"{seed_name} warm start on {be} changed the answer: "
+                    f"{warm.selection} ({warm.objective!r}) != "
+                    f"{cold.selection} ({cold.objective!r})"
+                )
+        if not small:
+            continue
+        # The unpresolved branch-bound model is the one place a seed
+        # truly steers the search; keep it to small instances.
+        full = select_layouts(
+            graph, backend="branch-bound", presolve=False, warm_start=seed
+        )
+        if (full.selection != cold.selection
+                or full.objective != cold.objective):
+            return (
+                f"{seed_name} warm start on the unpresolved "
+                f"branch-bound model changed the answer: "
+                f"{full.selection} ({full.objective!r}) != "
+                f"{cold.selection} ({cold.objective!r})"
+            )
+    return None
+
+
 def _failure_predicate(
     check: str, assistant_config: AssistantConfig, backend: str
 ) -> Callable[[ast.Program], bool]:
@@ -174,6 +317,12 @@ def _failure_predicate(
             return _alignment_divergence(result, backend) is not None
         if check == "selection-oracle":
             return _selection_divergence(result, backend) is not None
+        if check == "estimator-batch":
+            return _estimator_batch_divergence(result) is not None
+        if check == "selection-presolve":
+            return _presolve_divergence(result, backend) is not None
+        if check == "warm-start":
+            return _warm_start_divergence(result, backend) is not None
         checker = mm.METAMORPHIC_CHECKS.get(check)
         if checker is None:
             return False
@@ -302,6 +451,21 @@ def _run_case(
         detail = _selection_divergence(result, backend, report)
         if detail is not None:
             return fail("selection-oracle", detail)
+    if "estimator-batch" in enabled:
+        report.count("estimator-batch")
+        detail = _estimator_batch_divergence(result)
+        if detail is not None:
+            return fail("estimator-batch", detail)
+    if "selection-presolve" in enabled:
+        report.count("selection-presolve")
+        detail = _presolve_divergence(result, backend, report)
+        if detail is not None:
+            return fail("selection-presolve", detail)
+    if "warm-start" in enabled:
+        report.count("warm-start")
+        detail = _warm_start_divergence(result, backend, report)
+        if detail is not None:
+            return fail("warm-start", detail)
 
     for name, checker in mm.METAMORPHIC_CHECKS.items():
         if name not in enabled:

@@ -15,13 +15,26 @@ remapping edge costs — is NP-complete (Kremer '93).  The 0-1 translation:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from ..ilp import MINIMIZE, Solution, ZeroOneModel, solve as ilp_solve
+from ..ilp import (
+    MINIMIZE,
+    Solution,
+    SolveStats,
+    ZeroOneModel,
+    solve as ilp_solve,
+)
 from ..obs import tracing
+from ..resilience.deadline import remaining_budget
 from ..resilience.degrade import note_degradation
 from .layout_graph import DataLayoutGraph
+from .presolve import (
+    build_component_model,
+    eliminate_component,
+    presolve_selection,
+)
 
 
 def _x(phase: int, cand: int) -> str:
@@ -149,22 +162,225 @@ def greedy_selection(
     return selection
 
 
+def _model_shape(
+    graph: DataLayoutGraph, allowed: Optional[Dict[int, set]]
+) -> Tuple[int, int]:
+    """Variable/constraint counts of the full selection model, computed
+    without building it (reported by the presolve fast path)."""
+    nvars = ncons = 0
+    for phase_index, costs in graph.node_costs.items():
+        nvars += len(costs)
+        ncons += 1
+        if allowed is not None and phase_index in allowed:
+            ncons += sum(
+                1 for c in range(len(costs)) if c not in allowed[phase_index]
+            )
+    for edge in graph.edges:
+        nvars += len(edge.costs)
+        ncons += len(edge.costs)
+    return nvars, ncons
+
+
+def _warm_values(
+    model: ZeroOneModel, warm_start: Dict[int, int]
+) -> Dict[str, int]:
+    """Expand a phase -> candidate warm start into model variable values
+    (``y`` variables take their indicator value, which is feasible)."""
+    values: Dict[str, int] = {}
+    for var in model.variables:
+        kind, rest = var.split(":", 1)
+        if kind == "x":
+            p, c = (int(t) for t in rest.split(":"))
+            values[var] = 1 if warm_start.get(p) == c else 0
+        else:
+            p, i, q, j = (int(t) for t in rest.split(":"))
+            values[var] = (
+                1 if warm_start.get(p) == i and warm_start.get(q) == j
+                else 0
+            )
+    return values
+
+
+def _solution_values(
+    graph: DataLayoutGraph, selection: Dict[int, int]
+) -> Dict[str, int]:
+    """The full-model variable assignment a selection corresponds to."""
+    values: Dict[str, int] = {}
+    for phase_index, costs in graph.node_costs.items():
+        for cand in range(len(costs)):
+            values[_x(phase_index, cand)] = (
+                1 if selection[phase_index] == cand else 0
+            )
+    for edge in graph.edges:
+        p, q = edge.src_phase, edge.dst_phase
+        for (i, j) in edge.costs:
+            values[_y(p, i, q, j)] = (
+                1 if selection[p] == i and selection[q] == j else 0
+            )
+    return values
+
+
+def _greedy_degraded(
+    graph: DataLayoutGraph,
+    allowed: Optional[Dict[int, set]],
+    nvars: int,
+    ncons: int,
+    detail: str,
+) -> SelectionResult:
+    """The deadline-expired fallback shared by both solve paths."""
+    note_degradation("selection", "greedy-fallback", detail)
+    selection = greedy_selection(graph, allowed=allowed)
+    evaluated = graph.evaluate(selection)
+    return SelectionResult(
+        selection=selection,
+        objective=evaluated,
+        solution=Solution(
+            status="unknown",
+            objective=float("nan"),
+            values={},
+            stats=SolveStats(backend="presolve"),
+        ),
+        num_variables=nvars,
+        num_constraints=ncons,
+        optimal=False,
+    )
+
+
+def _select_presolved(
+    graph: DataLayoutGraph,
+    backend: str,
+    allowed: Optional[Dict[int, set]],
+    warm_start: Optional[Dict[int, int]],
+    nvars: int,
+    ncons: int,
+) -> Optional[SelectionResult]:
+    """The presolve + exact-elimination fast path.
+
+    Returns ``None`` when the request budget is already spent (the
+    legacy path owns that degradation) — otherwise a complete
+    :class:`SelectionResult` equal to the legacy path's.
+    """
+    budget = remaining_budget()
+    if budget is not None and budget <= 0:
+        return None
+    start = time.perf_counter()
+    with tracing.span(
+        "ilp.presolve", name="layout-selection", variables=nvars
+    ) as psp:
+        pre = presolve_selection(graph, allowed=allowed)
+        psp.set_attr("fixed", len(pre.fixed))
+        psp.set_attr("pruned", pre.pruned)
+        psp.set_attr("components", len(pre.components))
+    selection: Dict[int, int] = dict(pre.fixed)
+    optimal = True
+    for comp in pre.components:
+        budget = remaining_budget()
+        if budget is not None and budget <= 0:
+            return _greedy_degraded(
+                graph, allowed, nvars, ncons,
+                "deadline expired during presolve; "
+                "greedy one-pass selection",
+            )
+        solved = eliminate_component(pre, comp)
+        if solved is not None:
+            selection.update(solved)
+            continue
+        # Elimination table too large: solve the component as a reduced
+        # ILP (same candidate costs, conditioned), warm-started when a
+        # previous selection is available.
+        model = build_component_model(pre, comp)
+        seed = None if warm_start is None else _warm_values(
+            model, warm_start
+        )
+        sub = ilp_solve(model, backend=backend, warm_start=seed)
+        if sub.has_incumbent:
+            for p in comp:
+                for c in pre.active[p]:
+                    if sub.values.get(_x(p, c)) == 1:
+                        selection[p] = c
+                        break
+                else:  # pragma: no cover - guaranteed by exactly-one
+                    raise AssertionError(f"no candidate chosen for {p}")
+            if not sub.is_optimal:
+                optimal = False
+                note_degradation(
+                    "selection", "incumbent",
+                    f"solver stopped at {sub.status}; "
+                    f"using best incumbent",
+                )
+        elif sub.status == "unknown":
+            return _greedy_degraded(
+                graph, allowed, nvars, ncons,
+                "no incumbent within budget; greedy one-pass selection",
+            )
+        else:
+            # Exactly-one rows make the model feasible by construction.
+            raise RuntimeError(f"selection ILP {sub.status}")
+    evaluated = graph.evaluate(selection)
+    solution = Solution(
+        status="optimal" if optimal else "time_limit",
+        objective=evaluated,
+        values=_solution_values(graph, selection),
+        stats=SolveStats(
+            backend=f"{backend}+presolve",
+            wall_time=time.perf_counter() - start,
+        ),
+    )
+    return SelectionResult(
+        selection=selection,
+        objective=evaluated,
+        solution=solution,
+        num_variables=nvars,
+        num_constraints=ncons,
+        optimal=optimal,
+    )
+
+
 def select_layouts(
     graph: DataLayoutGraph,
     backend: str = "scipy",
     allowed: Optional[Dict[int, set]] = None,
+    presolve: bool = True,
+    warm_start: Optional[Dict[int, int]] = None,
 ) -> SelectionResult:
     """Solve the selection problem to proven optimality.
+
+    By default the graph-level presolve (dead-end elimination +
+    conditioning, :mod:`repro.selection.presolve`) fixes most phases and
+    the residual components are solved by exact variable elimination —
+    the full 0-1 model is only built when ``presolve=False`` or a
+    residual component outgrows the elimination tables.  Both paths
+    return the same canonical optimum.
+
+    ``warm_start`` (a previous phase -> candidate selection, e.g. along
+    a remap chain of re-solves) seeds any branch-bound solve with a
+    known incumbent; it never changes the result.
 
     If a request deadline cuts the solve short, the best incumbent (or
     the greedy one-pass selection) is returned with ``optimal=False``
     and a degradation note instead of an exception.
     """
-    with tracing.span("selection.solve", backend=backend) as sp:
+    with tracing.span(
+        "selection.solve", backend=backend, presolve=presolve
+    ) as sp:
+        nvars, ncons = _model_shape(graph, allowed)
+        sp.set_attr("variables", nvars)
+        sp.set_attr("constraints", ncons)
+        if presolve:
+            result = _select_presolved(
+                graph, backend, allowed, warm_start, nvars, ncons
+            )
+            if result is not None:
+                sp.set_attr("objective_us", result.objective)
+                sp.set_attr("optimal", result.optimal)
+                if tracing.active():
+                    _record_provenance(graph, result.selection)
+                return result
         ilp = build_selection_model(graph, allowed=allowed)
-        sp.set_attr("variables", ilp.num_variables)
-        sp.set_attr("constraints", ilp.num_constraints)
-        solution = ilp_solve(ilp.model, backend=backend)
+        seed = None if warm_start is None else _warm_values(
+            ilp.model, warm_start
+        )
+        solution = ilp_solve(ilp.model, backend=backend, warm_start=seed)
         optimal = solution.is_optimal
         if solution.has_incumbent:
             selection: Dict[int, int] = {}

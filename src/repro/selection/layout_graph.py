@@ -180,6 +180,39 @@ def _build_layout_graph(
         for src, dst, freq in edges:
             per_edge.setdefault((src, dst), []).append((array, freq))
 
+    # Remap pricing is memoized: the transpose prediction depends only
+    # on the array (its local block size), and a candidate's signature
+    # for an array depends only on (candidate layout, array) — not on
+    # the edge — so both are computed once and reused across the i x j
+    # candidate pairs.  The accumulation order over ``array_freqs`` is
+    # unchanged, keeping edge costs bitwise-equal to the direct loop.
+    remap_cost: Dict[str, float] = {}
+
+    def array_remap_cost(array: str) -> float:
+        cost = remap_cost.get(array)
+        if cost is None:
+            symbol = symbols.array(array)
+            local = max(symbol.total_bytes // nprocs, 1)
+            cost = remap_cost[array] = db.predict(
+                "transpose", nprocs, local, stride="nonunit",
+                latency="high",
+            )
+        return cost
+
+    _MISSING = (None,)
+    sig_cache: Dict[Tuple[int, str], tuple] = {}
+
+    def signature(cand: EstimatedCandidate, array: str) -> tuple:
+        key = (id(cand), array)
+        sig = sig_cache.get(key)
+        if sig is None:
+            try:
+                sig = array_layout_signature(cand.candidate.layout, array)
+            except KeyError:
+                sig = _MISSING
+            sig_cache[key] = sig
+        return sig
+
     layout_edges: List[LayoutEdge] = []
     for (src, dst), array_freqs in sorted(per_edge.items()):
         edge = LayoutEdge(src_phase=src, dst_phase=dst)
@@ -189,23 +222,13 @@ def _build_layout_graph(
             for j, dst_cand in enumerate(dst_cands):
                 cost = 0.0
                 for array, freq in array_freqs:
-                    try:
-                        sig_from = array_layout_signature(
-                            src_cand.candidate.layout, array
-                        )
-                        sig_to = array_layout_signature(
-                            dst_cand.candidate.layout, array
-                        )
-                    except KeyError:
+                    sig_from = signature(src_cand, array)
+                    sig_to = signature(dst_cand, array)
+                    if sig_from is _MISSING or sig_to is _MISSING:
                         continue
                     if sig_from == sig_to or not sig_from[0]:
                         continue
-                    symbol = symbols.array(array)
-                    local = max(symbol.total_bytes // nprocs, 1)
-                    cost += freq * db.predict(
-                        "transpose", nprocs, local, stride="nonunit",
-                        latency="high",
-                    )
+                    cost += freq * array_remap_cost(array)
                 if cost > 0.0:
                     edge.costs[(i, j)] = cost
         if edge.costs:

@@ -1,0 +1,313 @@
+"""Graph-level presolve + exact elimination for layout selection.
+
+The selection ILP (one candidate per phase, remap edges) carries a lot
+of slack a solver-agnostic pass can remove up front, in the spirit of
+the constraint-network propagation Chen & Kandemir apply to 0-1 layout
+programs.  Two optimum-preserving reductions run to a fixpoint on the
+data layout graph itself:
+
+* **dead-end elimination** (Goldstein's criterion): candidate ``i`` of
+  phase ``p`` is pruned when some ``i'`` satisfies ``node(i') - node(i)
+  + sum_e max_j [e(i', j) - e(i, j)] < 0`` — switching ``i -> i'``
+  strictly improves *every* completion, so ``i`` is in no optimum;
+* **conditioning**: a phase reduced to one candidate is fixed, and its
+  remap-edge costs fold into the neighbouring phases' node costs.
+
+What survives is a residual graph whose connected components are solved
+independently — by exact **min-sum variable elimination** (nonserial
+dynamic programming over elimination buckets) when the tables stay
+small, falling back to a reduced component ILP otherwise.
+
+Canonical tie-breaking: components eliminate phases in descending index
+order and backtrack ascending, taking the *first* argmin at every step.
+That yields the lexicographically smallest selection vector among the
+optima — exactly the assignment the branch-bound backend's
+lexicographically-greatest 0-1 rule decodes to — so the fast path, the
+ILP path, and warm-started re-solves all agree bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..ilp import MINIMIZE, ZeroOneModel
+from .layout_graph import DataLayoutGraph
+
+#: largest elimination-bucket tensor (elements) before a component falls
+#: back to the ILP — nonserial DP is exponential in the bucket scope.
+TABLE_CAP = 65536
+
+
+@dataclass
+class SelectionPresolve:
+    """Fixpoint of DEE + conditioning over a data layout graph."""
+
+    graph: DataLayoutGraph
+    #: phases proven to a single candidate (value is the position)
+    fixed: Dict[int, int]
+    #: residual phases -> surviving candidate positions (ascending)
+    active: Dict[int, List[int]]
+    #: conditioned node costs, full candidate index space per phase
+    node: Dict[int, "np.ndarray"]
+    #: merged remap matrices over full index spaces, keyed (p, q), p < q
+    matrices: Dict[Tuple[int, int], "np.ndarray"]
+    #: residual connected components (phases ascending)
+    components: List[List[int]]
+    #: number of (phase, candidate) pairs pruned by dead-end elimination
+    pruned: int = 0
+
+    def component_edges(
+        self, comp: List[int]
+    ) -> List[Tuple[int, int, "np.ndarray"]]:
+        """Edges inside ``comp`` restricted to the active candidates."""
+        members = set(comp)
+        out = []
+        for (p, q), matrix in sorted(self.matrices.items()):
+            if p in members and q in members:
+                sub = matrix[np.ix_(self.active[p], self.active[q])]
+                if (sub != 0.0).any():
+                    out.append((p, q, sub))
+        return out
+
+
+def presolve_selection(
+    graph: DataLayoutGraph,
+    allowed: Optional[Dict[int, set]] = None,
+) -> SelectionPresolve:
+    """Run dead-end elimination + conditioning to a fixpoint.
+
+    Both rules only remove candidates that appear in **no** optimum (and
+    fix phases whose candidate appears in **every** optimum), so the
+    residual problem has exactly the original optima, shifted by a
+    constant.  Raises ``RuntimeError`` when ``allowed`` empties a phase
+    (the ILP would be infeasible — same outcome as the slow path).
+    """
+    node: Dict[int, np.ndarray] = {}
+    active: Dict[int, List[int]] = {}
+    for phase_index, costs in sorted(graph.node_costs.items()):
+        node[phase_index] = np.array(costs, dtype=np.float64)
+        positions = list(range(len(costs)))
+        if allowed is not None and phase_index in allowed:
+            positions = [c for c in positions if c in allowed[phase_index]]
+            if not positions:
+                raise RuntimeError("selection ILP infeasible")
+        active[phase_index] = positions
+
+    # Merge remap edges into one matrix per unordered phase pair; a
+    # self-edge only ever charges its (i, i) diagonal, which is always
+    # zero (same layout, same array), so it is dropped.
+    matrices: Dict[Tuple[int, int], np.ndarray] = {}
+    for edge in graph.edges:
+        p, q = edge.src_phase, edge.dst_phase
+        if p == q:
+            continue
+        key = (p, q) if p < q else (q, p)
+        matrix = matrices.get(key)
+        if matrix is None:
+            matrix = matrices[key] = np.zeros(
+                (len(node[key[0]]), len(node[key[1]]))
+            )
+        for (i, j), cost in edge.costs.items():
+            if p < q:
+                matrix[i, j] += cost
+            else:
+                matrix[j, i] += cost
+
+    fixed: Dict[int, int] = {}
+    pruned = 0
+
+    def incident(p: int) -> List[Tuple[Tuple[int, int], bool]]:
+        """Matrix keys touching ``p`` (True when ``p`` is the row axis)."""
+        out = []
+        for key in matrices:
+            if key[0] == p:
+                out.append((key, True))
+            elif key[1] == p:
+                out.append((key, False))
+        return out
+
+    changed = True
+    while changed:
+        changed = False
+        # Conditioning: fold singleton phases into their neighbours.
+        for p in sorted(active):
+            if len(active[p]) != 1:
+                continue
+            c = active[p][0]
+            for key, is_row in incident(p):
+                matrix = matrices.pop(key)
+                q = key[1] if is_row else key[0]
+                if q in fixed:
+                    continue  # constant cost; the evaluator charges it
+                node[q] = node[q] + (matrix[c, :] if is_row
+                                     else matrix[:, c])
+            fixed[p] = c
+            del active[p]
+            changed = True
+        # Dead-end elimination over the surviving candidates.
+        for p in sorted(active):
+            cands = active[p]
+            m = len(cands)
+            if m < 2:
+                continue
+            diff = node[p][cands][:, None] - node[p][cands][None, :]
+            for key, is_row in incident(p):
+                q = key[1] if is_row else key[0]
+                sub = matrices[key][np.ix_(cands, active[q])] if is_row \
+                    else matrices[key][np.ix_(active[q], cands)].T
+                diff = diff + (
+                    sub[:, None, :] - sub[None, :, :]
+                ).max(axis=2)
+            # diff[a, b] < 0: switching b -> a strictly improves every
+            # completion, so candidate b survives in no optimum.
+            dominated = (diff < 0.0).any(axis=0)
+            if dominated.any():
+                active[p] = [
+                    c for c, dead in zip(cands, dominated) if not dead
+                ]
+                pruned += int(dominated.sum())
+                changed = True
+
+    # Residual connected components over the remaining edges.
+    residual = sorted(active)
+    parent = {p: p for p in residual}
+
+    def find(p: int) -> int:
+        while parent[p] != p:
+            parent[p] = parent[parent[p]]
+            p = parent[p]
+        return p
+
+    for (p, q), matrix in matrices.items():
+        if p in parent and q in parent:
+            sub = matrix[np.ix_(active[p], active[q])]
+            if (sub != 0.0).any():
+                parent[find(p)] = find(q)
+    groups: Dict[int, List[int]] = {}
+    for p in residual:
+        groups.setdefault(find(p), []).append(p)
+    components = sorted(sorted(g) for g in groups.values())
+
+    return SelectionPresolve(
+        graph=graph,
+        fixed=fixed,
+        active=active,
+        node=node,
+        matrices=matrices,
+        components=components,
+        pruned=pruned,
+    )
+
+
+def _align(arr: "np.ndarray", scope: Tuple[int, ...],
+           target: Tuple[int, ...]) -> "np.ndarray":
+    """Reshape a factor over ``scope`` for broadcasting over ``target``.
+
+    Both are ascending phase tuples with ``scope`` a subset of
+    ``target``, so inserting singleton axes preserves axis order.
+    """
+    shape = [1] * len(target)
+    for size, p in zip(arr.shape, scope):
+        shape[target.index(p)] = size
+    return arr.reshape(shape)
+
+
+def eliminate_component(
+    pre: SelectionPresolve,
+    comp: List[int],
+    table_cap: int = TABLE_CAP,
+) -> Optional[Dict[int, int]]:
+    """Exactly solve one residual component by variable elimination.
+
+    Returns the optimal candidate position per phase under the canonical
+    tie-break, or ``None`` when an elimination bucket would exceed
+    ``table_cap`` elements (the caller then solves the component as a
+    reduced ILP).
+    """
+    domain = {p: pre.active[p] for p in comp}
+    factors: List[Tuple[Tuple[int, ...], np.ndarray]] = [
+        ((p,), pre.node[p][domain[p]]) for p in comp
+    ]
+    factors.extend(
+        ((p, q), sub) for p, q, sub in pre.component_edges(comp)
+    )
+
+    #: per eliminated phase: (phase, remaining scope, bucket tensor with
+    #: the phase's axis last)
+    record: List[Tuple[int, Tuple[int, ...], np.ndarray]] = []
+    for q in sorted(comp, reverse=True):
+        bucket = [f for f in factors if q in f[0]]
+        factors = [f for f in factors if q not in f[0]]
+        target: Tuple[int, ...] = tuple(sorted(
+            {p for scope, _ in bucket for p in scope}
+        ))
+        # q is the largest remaining phase, so it owns the last axis.
+        size = 1
+        for p in target:
+            size *= len(domain[p])
+        if size > table_cap:
+            return None
+        combined = np.zeros(tuple(len(domain[p]) for p in target))
+        for scope, arr in sorted(bucket, key=lambda f: f[0]):
+            combined = combined + _align(arr, scope, target)
+        rest = target[:-1]
+        record.append((q, rest, combined))
+        if rest:
+            factors.append((rest, combined.min(axis=-1)))
+
+    # Backtrack in ascending phase order: at each step the first argmin
+    # is the smallest candidate achieving the component optimum given
+    # the already-assigned earlier phases — the lexicographically
+    # smallest optimum overall.
+    local: Dict[int, int] = {}
+    for q, rest, tensor in reversed(record):
+        vector = tensor[tuple(local[r] for r in rest)]
+        local[q] = int(np.argmin(vector))
+    return {p: domain[p][local[p]] for p in comp}
+
+
+def build_component_model(
+    pre: SelectionPresolve, comp: List[int]
+) -> ZeroOneModel:
+    """The reduced selection ILP of one residual component.
+
+    Variables keep the full model's ``x:{phase}:{cand}`` naming (over
+    surviving candidates only, in the original insertion order) so warm
+    starts project directly, plus the usual ``y`` linking variables for
+    positive remap entries; node costs are the *conditioned* ones.
+    """
+    model = ZeroOneModel(name="layout-selection:residual", sense=MINIMIZE)
+    objective: Dict[str, float] = {}
+    for p in comp:
+        for c in pre.active[p]:
+            var = model.add_var(f"x:{p}:{c}")
+            objective[var] = float(pre.node[p][c])
+        model.add_constraint(
+            {f"x:{p}:{c}": 1.0 for c in pre.active[p]},
+            "==",
+            1.0,
+            name=f"one-layout:{p}",
+        )
+    for p, q, sub in pre.component_edges(comp):
+        for a, i in enumerate(pre.active[p]):
+            for b, j in enumerate(pre.active[q]):
+                cost = float(sub[a, b])
+                if cost <= 0.0:
+                    continue
+                yvar = model.add_var(f"y:{p}:{i}:{q}:{j}")
+                objective[yvar] = cost
+                model.add_constraint(
+                    {
+                        yvar: 1.0,
+                        f"x:{p}:{i}": -1.0,
+                        f"x:{q}:{j}": -1.0,
+                    },
+                    ">=",
+                    -1.0,
+                    name=f"remap:{p}:{i}->{q}:{j}",
+                )
+    model.set_objective(objective)
+    return model

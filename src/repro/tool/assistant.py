@@ -72,6 +72,13 @@ class AssistantConfig:
     ilp_backend: str = "scipy"
     branch_probability: float = DEFAULT_BRANCH_PROBABILITY
     branch_prob_overrides: Optional[Dict[int, float]] = None
+    #: "batched" prices all candidates of a phase through vectorized
+    #: cost tables; "scalar" is the legacy per-candidate loop, kept as
+    #: the differential reference (both are bitwise-equal).
+    estimation_mode: str = "batched"
+    #: presolve + exact elimination before the selection/alignment ILPs;
+    #: False forces the legacy full-model solves.
+    ilp_presolve: bool = True
 
     # -- serialization ---------------------------------------------------
     #
@@ -98,6 +105,8 @@ class AssistantConfig:
             "ilp_backend": self.ilp_backend,
             "branch_probability": self.branch_probability,
             "branch_prob_overrides": overrides,
+            "estimation_mode": self.estimation_mode,
+            "ilp_presolve": self.ilp_presolve,
         }
 
     @classmethod
@@ -136,6 +145,8 @@ class AssistantConfig:
                 data.get("branch_probability", DEFAULT_BRANCH_PROBABILITY)
             ),
             branch_prob_overrides=overrides,
+            estimation_mode=str(data.get("estimation_mode", "batched")),
+            ilp_presolve=bool(data.get("ilp_presolve", True)),
         )
 
     def to_key(self) -> str:
@@ -184,12 +195,28 @@ class AssistantResult:
                 return True
         return False
 
-    def reselect(self, allowed: Optional[Dict[int, Set[int]]] = None
-                 ) -> SelectionResult:
+    def reselect(self, allowed: Optional[Dict[int, Set[int]]] = None,
+                 warm_start: bool = True) -> SelectionResult:
         """Re-run the selection step, optionally restricted — the hook for
-        user edits of the search spaces."""
+        user edits of the search spaces.
+
+        By default the re-solve is warm-started from the current
+        selection (repaired onto ``allowed`` where it violates a
+        restriction), so walking a remap chain of edits re-prices from
+        the previous incumbent instead of from scratch.  Warm starts
+        never change the canonical result; ``warm_start=False`` opts
+        out.
+        """
+        seed: Optional[Dict[int, int]] = None
+        if warm_start:
+            seed = dict(self.selection.selection)
+            if allowed is not None:
+                for phase_index, positions in allowed.items():
+                    if positions and seed.get(phase_index) not in positions:
+                        seed[phase_index] = min(positions)
         return select_layouts(
-            self.graph, backend=self.config.ilp_backend, allowed=allowed
+            self.graph, backend=self.config.ilp_backend, allowed=allowed,
+            presolve=self.config.ilp_presolve, warm_start=seed,
         )
 
 
@@ -299,6 +326,7 @@ def stage_estimation(
         estimates = estimate_search_spaces(
             partition.phases, layout_spaces, symbols, config.machine,
             db=db, options=config.compiler, job_runner=job_runner,
+            mode=config.estimation_mode,
         )
         sp.set_attr(
             "candidates",
@@ -320,7 +348,10 @@ def stage_selection(
         graph = build_layout_graph(
             partition.phases, pcfg, estimates, symbols, db, config.nprocs
         )
-        selection = select_layouts(graph, backend=config.ilp_backend)
+        selection = select_layouts(
+            graph, backend=config.ilp_backend,
+            presolve=config.ilp_presolve,
+        )
         sp.set_attr("variables", selection.num_variables)
         sp.set_attr("constraints", selection.num_constraints)
         sp.set_attr("objective_us", selection.objective)

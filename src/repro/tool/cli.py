@@ -571,16 +571,19 @@ def cmd_bench_run(args: argparse.Namespace) -> int:
 
 
 def _bench_compare(args: argparse.Namespace):
-    """Shared body of ``bench compare`` and ``bench gate``."""
+    """Shared body of ``bench compare`` and ``bench gate``.
+
+    Raises :class:`repro.perf.bench.BenchInputError` when the baseline
+    or ``--current`` file is missing, unreadable, corrupt, or does not
+    match the bench schema.
+    """
     from ..perf import bench as perfbench
 
     base_path = _bench_baseline_path(args)
-    base = perfbench.latest_results(
-        perfbench.load_bench_file(base_path)
-    )
+    base = perfbench.load_latest_results(base_path, role="baseline")
     if args.current:
-        current = perfbench.latest_results(
-            perfbench.load_bench_file(args.current)
+        current = perfbench.load_latest_results(
+            args.current, role="current"
         )
     else:
         with _bench_trace_scope(args):
@@ -596,12 +599,29 @@ def _bench_compare(args: argparse.Namespace):
     return perfbench.compare_results(base, current, thresholds)
 
 
+def _report_bench_input_error(exc, as_json: bool) -> int:
+    """One clean diagnostic (and exit code 2) for a bad compare/gate
+    input file instead of a raw traceback."""
+    import json
+
+    logger.error("%s", exc)
+    if as_json:
+        print(json.dumps({
+            "error": {"kind": f"bench-input/{exc.kind}",
+                      "path": exc.path, "detail": exc.detail},
+        }, indent=2, sort_keys=True))
+    return 2
+
+
 def cmd_bench_compare(args: argparse.Namespace) -> int:
     import json
 
     from ..perf import bench as perfbench
 
-    report = _bench_compare(args)
+    try:
+        report = _bench_compare(args)
+    except perfbench.BenchInputError as exc:
+        return _report_bench_input_error(exc, args.json)
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
@@ -614,7 +634,10 @@ def cmd_bench_gate(args: argparse.Namespace) -> int:
 
     from ..perf import bench as perfbench
 
-    report = _bench_compare(args)
+    try:
+        report = _bench_compare(args)
+    except perfbench.BenchInputError as exc:
+        return _report_bench_input_error(exc, args.json)
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:

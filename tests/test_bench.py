@@ -17,6 +17,7 @@ from repro.obs.prometheus import parse_prometheus_text
 from repro.perf.bench import (
     BENCH_SCHEMA,
     BENCH_SIZES,
+    BenchInputError,
     BenchValidationError,
     Measurement,
     RegressionReport,
@@ -28,6 +29,7 @@ from repro.perf.bench import (
     discover,
     latest_results,
     load_bench_file,
+    load_latest_results,
     mad,
     measure,
     median,
@@ -488,6 +490,82 @@ class TestBenchCLI:
         samples = parse_prometheus_text(open(prom_path).read())
         assert any(name == "repro_bench_seconds_bucket"
                    for name, _ in samples)
+
+
+# ---------------------------------------------------------------------------
+# CLI: missing / malformed compare inputs (typed error, exit 2)
+
+
+class TestBenchInputErrors:
+    def test_load_latest_results_missing_file(self, tmp_path):
+        path = str(tmp_path / "BENCH_none.json")
+        with pytest.raises(BenchInputError) as err:
+            load_latest_results(path)
+        assert err.value.kind == "missing"
+        assert err.value.path == path
+        assert "repro bench run" in str(err.value)
+
+    def test_load_latest_results_invalid_json(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(BenchInputError) as err:
+            load_latest_results(str(path), role="current")
+        assert err.value.kind == "invalid-json"
+        assert "current" in str(err.value)
+
+    def test_load_latest_results_schema_mismatch(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text(
+            json.dumps({"schema": "other/v0", "label": "bad", "runs": []}),
+            encoding="utf-8",
+        )
+        with pytest.raises(BenchInputError) as err:
+            load_latest_results(str(path))
+        assert err.value.kind == "schema"
+        assert BENCH_SCHEMA in str(err.value)
+
+    def test_load_latest_results_tampered_integrity(self, tmp_path):
+        path = append_run(
+            {"b": _measurement("b", [0.1, 0.2])}, "t", root=str(tmp_path)
+        )
+        data = json.load(open(path))
+        data["runs"][0]["results"]["b"]["min_s"] += 1.0  # stamp now stale
+        json.dump(data, open(path, "w"))
+        with pytest.raises(BenchInputError) as err:
+            load_latest_results(path)
+        assert err.value.kind == "corrupt"
+
+    def test_compare_missing_baseline_exits_2(self, tmp_path, capsys):
+        rc = cli_main(_run_args(tmp_path, "compare", "--baseline",
+                                "nosuch"))
+        assert rc == 2
+        assert "no such baseline file" in capsys.readouterr().err
+
+    def test_gate_missing_baseline_exits_2(self, tmp_path):
+        rc = cli_main(_run_args(tmp_path, "gate", "--baseline", "nosuch"))
+        assert rc == 2
+
+    def test_gate_schema_mismatch_emits_json_error_object(self, tmp_path,
+                                                          capsys):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text(json.dumps({"schema": "x"}), encoding="utf-8")
+        rc = cli_main(_run_args(tmp_path, "gate", "--baseline", str(bad),
+                                "--json"))
+        assert rc == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["error"]["kind"] == "bench-input/schema"
+        assert payload["error"]["path"] == str(bad)
+
+    def test_compare_bad_current_exits_2(self, tmp_path, capsys):
+        append_run(
+            {"b": _measurement("b", [0.1, 0.2])}, "t", root=str(tmp_path)
+        )
+        bad = tmp_path / "current.json"
+        bad.write_text("{", encoding="utf-8")
+        rc = cli_main(_run_args(tmp_path, "compare", "--baseline", "t",
+                                "--current", str(bad)))
+        assert rc == 2
+        assert "not valid JSON" in capsys.readouterr().err
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,320 @@
+"""Presolve soundness: constraint propagation on 0-1 models, the
+graph-level selection presolve, and their agreement with the brute-force
+oracles.
+
+The regression contract (the reason these are not approximate checks):
+
+* every variable the presolve *fixes* carries the same value in the
+  brute-force oracle's optimal certificate — presolve never cuts off the
+  canonical optimum;
+* the presolved solve's objective equals the unpresolved solve's
+  objective exactly;
+* the presolved selection path returns bitwise the selection the legacy
+  full-model path returns.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.ilp import (
+    MAXIMIZE,
+    MINIMIZE,
+    ZeroOneModel,
+    presolve_model,
+    solve as ilp_solve,
+)
+from repro.programs import PROGRAMS
+from repro.qa import load_corpus
+from repro.qa.oracles import (
+    MAX_SELECTION_COMBINATIONS,
+    exact_best_selection,
+    selection_combination_count,
+)
+from repro.qa.runner import run_fuzz
+from repro.selection import ilp as selection_ilp
+from repro.selection.ilp import select_layouts
+from repro.selection.presolve import (
+    TABLE_CAP,
+    build_component_model,
+    eliminate_component,
+    presolve_selection,
+)
+from repro.tool.assistant import AssistantConfig, run_assistant
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+CORPUS = load_corpus(CORPUS_DIR)
+
+
+# ---------------------------------------------------------------------------
+# Model-level presolve (repro.ilp.presolve)
+
+
+class TestRowForcing:
+    def test_equality_row_forces_all_ones(self):
+        model = ZeroOneModel(name="t", sense=MINIMIZE)
+        model.add_var("x")
+        model.add_var("y")
+        model.add_constraint({"x": 1.0, "y": 1.0}, "==", 2.0)
+        model.set_objective({"x": 1.0, "y": 1.0})
+        pre = presolve_model(model)
+        assert pre.fixed == {"x": 1, "y": 1}
+        assert pre.solved
+
+    def test_upper_bound_zero_forces_all_zeros(self):
+        model = ZeroOneModel(name="t", sense=MINIMIZE)
+        model.add_var("x")
+        model.add_var("y")
+        model.add_constraint({"x": 1.0, "y": 1.0}, "<=", 0.0)
+        model.set_objective({"x": -1.0, "y": -1.0})
+        pre = presolve_model(model)
+        assert pre.fixed == {"x": 0, "y": 0}
+
+    def test_singleton_forbid_row(self):
+        # The selection model's ``forbid`` rows are singleton == 0.
+        model = ZeroOneModel(name="t", sense=MINIMIZE)
+        model.add_var("x")
+        model.add_var("y")
+        model.add_constraint({"x": 1.0}, "==", 0.0, name="forbid")
+        model.add_constraint({"x": 1.0, "y": 1.0}, "==", 1.0)
+        model.set_objective({"x": 0.0, "y": 5.0})
+        pre = presolve_model(model)
+        assert pre.fixed == {"x": 0, "y": 1}
+        assert pre.solved
+
+    def test_forcing_chains_propagate_to_fixpoint(self):
+        # x=1 forces y=0 (x+y<=1) which forces z=1 (y+z>=1).
+        model = ZeroOneModel(name="t", sense=MINIMIZE)
+        for v in ("x", "y", "z"):
+            model.add_var(v)
+        model.add_constraint({"x": 1.0}, ">=", 1.0)
+        model.add_constraint({"x": 1.0, "y": 1.0}, "<=", 1.0)
+        model.add_constraint({"y": 1.0, "z": 1.0}, ">=", 1.0)
+        model.set_objective({"x": 1.0, "y": 1.0, "z": 1.0})
+        pre = presolve_model(model)
+        assert pre.fixed == {"x": 1, "y": 0, "z": 1}
+
+    def test_infeasible_rows_detected(self):
+        model = ZeroOneModel(name="t", sense=MINIMIZE)
+        model.add_var("x")
+        model.add_constraint({"x": 1.0}, ">=", 1.0)
+        model.add_constraint({"x": 1.0}, "<=", 0.0)
+        model.set_objective({"x": 1.0})
+        pre = presolve_model(model)
+        assert pre.infeasible
+        solution = ilp_solve(model, presolve=True)
+        assert solution.status == "infeasible"
+        assert not solution.has_incumbent
+
+
+class TestRowRemovalAndObjectiveFixing:
+    def test_vacuous_rows_dropped(self):
+        model = ZeroOneModel(name="t", sense=MINIMIZE)
+        model.add_var("x")
+        model.add_var("y")
+        model.add_constraint({"x": 1.0, "y": 1.0}, "<=", 2.0)  # vacuous
+        model.add_constraint({"x": 1.0, "y": -1.0}, "<=", 0.0)  # binding
+        model.set_objective({"x": -1.0, "y": 1.0})
+        pre = presolve_model(model)
+        assert pre.rows_dropped == 1
+        assert pre.model.num_constraints == 1
+
+    def test_unconstrained_vars_fix_by_objective_sign(self):
+        model = ZeroOneModel(name="t", sense=MINIMIZE)
+        for v in ("a", "b", "c"):
+            model.add_var(v)
+        model.set_objective({"a": 3.0, "b": -2.0})  # c: no coefficient
+        pre = presolve_model(model)
+        # minimize: positive cost -> 0, negative cost -> 1,
+        # zero cost (tie) -> 1, the canonical branch-bound value.
+        assert pre.fixed == {"a": 0, "b": 1, "c": 1}
+        assert pre.solved
+        assert pre.trivial_solution().objective == -2.0
+
+    def test_maximize_flips_the_favourable_value(self):
+        model = ZeroOneModel(name="t", sense=MAXIMIZE)
+        model.add_var("a")
+        model.add_var("b")
+        model.set_objective({"a": 3.0, "b": -2.0})
+        pre = presolve_model(model)
+        assert pre.fixed == {"a": 1, "b": 0}
+
+    def test_expand_recomputes_objective_over_original(self):
+        model = ZeroOneModel(name="t", sense=MINIMIZE)
+        model.add_var("x")
+        model.add_var("y")
+        model.add_constraint({"x": 1.0}, "==", 1.0)
+        model.add_constraint({"x": 1.0, "y": 1.0}, "<=", 2.0)
+        model.set_objective({"x": 7.0, "y": 1.0})
+        pre = presolve_model(model)
+        assert pre.fixed.get("x") == 1
+        sub = ilp_solve(pre.model)
+        full = pre.expand(sub)
+        assert full.values["x"] == 1
+        assert full.objective == model.objective_value(full.values)
+
+
+class TestPresolvedSolvesMatchUnpresolved:
+    @pytest.mark.parametrize("backend", ["scipy", "branch-bound"])
+    def test_on_the_selection_model(self, adi_assistant, backend):
+        model = selection_ilp.build_selection_model(
+            adi_assistant.graph
+        ).model
+        plain = ilp_solve(model, backend=backend, presolve=False)
+        pres = ilp_solve(model, backend=backend, presolve=True)
+        assert pres.status == plain.status == "optimal"
+        assert pres.objective == plain.objective
+        assert pres.values == plain.values
+
+    @pytest.mark.parametrize("backend", ["scipy", "branch-bound"])
+    def test_on_a_knapsack_like_model(self, backend):
+        model = ZeroOneModel(name="t", sense=MAXIMIZE)
+        items = [("a", 4.0), ("b", 3.0), ("c", 2.0), ("d", 1.0)]
+        for v, _gain in items:
+            model.add_var(v)
+        model.add_constraint(
+            {v: 1.0 for v, _ in items}, "<=", 2.0
+        )
+        model.add_constraint({"a": 1.0, "b": 1.0}, "<=", 1.0)
+        model.set_objective(dict(items))
+        plain = ilp_solve(model, backend=backend, presolve=False)
+        pres = ilp_solve(model, backend=backend, presolve=True)
+        assert pres.objective == plain.objective == 6.0
+        assert pres.values == plain.values
+
+
+# ---------------------------------------------------------------------------
+# Graph-level selection presolve (repro.selection.presolve)
+
+
+def small_graphs():
+    """(name, graph) pairs within the exhaustive oracle's reach."""
+    out = []
+    for case in CORPUS:
+        result = run_assistant(
+            case.source, AssistantConfig(nprocs=case.nprocs)
+        )
+        if (selection_combination_count(result.graph)
+                <= MAX_SELECTION_COMBINATIONS):
+            out.append((case.name, result.graph))
+    return out
+
+
+class TestSelectionPresolveSoundness:
+    def test_fixed_phases_match_the_oracle_certificate(self):
+        checked = 0
+        for name, graph in small_graphs():
+            _cost, oracle_sel = exact_best_selection(graph)
+            pre = presolve_selection(graph)
+            for phase_index, cand in sorted(pre.fixed.items()):
+                assert oracle_sel[phase_index] == cand, (
+                    f"{name}: presolve fixed phase {phase_index} to "
+                    f"{cand}, oracle certificate has "
+                    f"{oracle_sel[phase_index]}"
+                )
+                checked += 1
+        assert checked > 0  # the corpus must exercise the rule
+
+    def test_presolved_objective_equals_unpresolved(self):
+        for name, graph in small_graphs():
+            fast = select_layouts(graph, presolve=True)
+            slow = select_layouts(graph, presolve=False)
+            assert fast.selection == slow.selection, name
+            assert fast.objective == slow.objective, name
+
+    def test_presolved_objective_equals_exhaustive_optimum(self):
+        for name, graph in small_graphs():
+            cost, oracle_sel = exact_best_selection(graph)
+            fast = select_layouts(graph, presolve=True)
+            assert fast.objective == cost, name
+            assert fast.selection == oracle_sel, name
+
+    def test_dee_pruning_survives_restriction(self):
+        for name, graph in small_graphs():
+            phases = sorted(graph.node_costs)
+            allowed = {
+                phases[0]: set(
+                    range(len(graph.node_costs[phases[0]]))
+                ),
+            }
+            fast = select_layouts(graph, presolve=True, allowed=allowed)
+            slow = select_layouts(graph, presolve=False, allowed=allowed)
+            assert fast.selection == slow.selection, name
+
+    def test_infeasible_restriction_raises_like_the_ilp(self):
+        _name, graph = small_graphs()[0]
+        phase = sorted(graph.node_costs)[0]
+        with pytest.raises(RuntimeError, match="infeasible"):
+            select_layouts(graph, presolve=True, allowed={phase: set()})
+
+
+class TestPaperProgramPaths:
+    @pytest.mark.parametrize(
+        "name", ["adi", "erlebacher", "tomcatv", "shallow"]
+    )
+    def test_fast_path_matches_legacy_bitwise(self, name):
+        result = run_assistant(
+            PROGRAMS[name].source(), AssistantConfig(nprocs=8)
+        )
+        graph = result.graph
+        fast = select_layouts(graph, presolve=True)
+        slow = select_layouts(graph, presolve=False)
+        assert fast.selection == slow.selection
+        assert fast.objective == slow.objective
+        assert fast.optimal and slow.optimal
+
+
+class TestEliminationFallback:
+    def test_component_ilp_fallback_matches_elimination(
+        self, adi_assistant, monkeypatch
+    ):
+        graph = adi_assistant.graph
+        reference = select_layouts(graph, presolve=True)
+        # Force every component onto the reduced-ILP fallback.
+        monkeypatch.setattr(
+            selection_ilp, "eliminate_component",
+            lambda pre, comp: None,
+        )
+        fallback = select_layouts(graph, presolve=True)
+        assert fallback.selection == reference.selection
+        assert fallback.objective == reference.objective
+
+    def test_tiny_table_cap_returns_none(self, adi_assistant):
+        graph = adi_assistant.graph
+        pre = presolve_selection(graph)
+        for comp in pre.components:
+            if len(comp) >= 1:
+                assert eliminate_component(pre, comp, table_cap=0) is None
+                break
+        else:
+            pytest.skip("presolve fixed every phase outright")
+
+    def test_default_cap_is_generous(self):
+        assert TABLE_CAP == 65536
+
+    def test_component_model_matches_elimination(self, adi_assistant):
+        graph = adi_assistant.graph
+        pre = presolve_selection(graph)
+        for comp in pre.components:
+            exact = eliminate_component(pre, comp)
+            if exact is None:
+                continue
+            model = build_component_model(pre, comp)
+            solution = ilp_solve(model)
+            assert solution.is_optimal
+            for p in comp:
+                for c in pre.active[p]:
+                    if solution.values.get(f"x:{p}:{c}") == 1:
+                        assert exact[p] == c, (p, c)
+                        break
+
+
+class TestFuzzWiring:
+    def test_selection_presolve_check_is_registered(self):
+        report = run_fuzz(
+            seed=910, cases=5, checks=["selection-presolve"]
+        )
+        assert report.ok, report.summary()
+        assert report.checks_run.get("selection-presolve") == 5

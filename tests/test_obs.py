@@ -311,11 +311,27 @@ class TestPipelineInstrumentation:
     def test_ilp_solves_carry_model_sizes(self, traced_run):
         _, _, trace = traced_run
         solves = spans_by_name(trace, "ilp.solve")
-        assert solves
         for span in solves:
             assert span["attrs"]["variables"] > 0
             assert span["attrs"]["constraints"] > 0
             assert span["attrs"]["status"] == "optimal"
+        # With graph presolve on (the default) the selection model may
+        # collapse entirely before any backend runs; the presolve span
+        # then carries the reduction evidence instead of ilp.solve.
+        presolves = spans_by_name(trace, "ilp.presolve")
+        assert solves or presolves
+        for span in presolves:
+            assert span["attrs"]["variables"] > 0
+            assert span["attrs"]["fixed"] + span["attrs"]["components"] > 0
+
+    def test_selection_span_has_model_shape(self, traced_run):
+        _, traced, trace = traced_run
+        (span,) = spans_by_name(trace, "selection.solve")
+        assert span["attrs"]["variables"] >= traced.graph.num_nodes()
+        assert span["attrs"]["constraints"] > 0
+        assert span["attrs"]["objective_us"] == pytest.approx(
+            traced.selection.objective
+        )
 
     def test_distribution_counts(self, traced_run):
         _, traced, trace = traced_run

@@ -1,0 +1,248 @@
+"""Warm-start determinism: seeding any solver with a previous incumbent
+must never change the canonical answer — only (possibly) the work needed
+to prove it.
+
+Covers the branch-bound backend's incumbent seeding, the warm-start
+projection through the model presolve, remap-chain re-solves via
+``AssistantResult.reselect``, and a seeded chaos case where graph
+presolve and deadline degradation interact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ilp import MINIMIZE, ZeroOneModel, solve as ilp_solve
+from repro.ilp.branch_bound import solve as bb_solve
+from repro.programs import PROGRAMS
+from repro.qa.runner import run_fuzz
+from repro.resilience.chaos import run_chaos
+from repro.resilience.deadline import Deadline, deadline_scope
+from repro.resilience.degrade import collecting
+from repro.selection.ilp import select_layouts
+from repro.tool.assistant import AssistantConfig, run_assistant
+
+
+def knapsack_model():
+    """Small model with a unique optimum and several feasible points."""
+    model = ZeroOneModel(name="t", sense=MINIMIZE)
+    costs = {"a": 5.0, "b": 3.0, "c": 4.0, "d": 1.0}
+    for v in costs:
+        model.add_var(v)
+    model.add_constraint({"a": 1.0, "b": 1.0}, ">=", 1.0)
+    model.add_constraint({"c": 1.0, "d": 1.0}, ">=", 1.0)
+    model.set_objective(costs)
+    return model
+
+
+class TestBranchBoundSeeding:
+    def test_optimal_seed_returns_same_solution(self):
+        model = knapsack_model()
+        cold = bb_solve(model)
+        warm = bb_solve(model, warm_start=dict(cold.values))
+        assert warm.status == cold.status == "optimal"
+        assert warm.objective == cold.objective
+        assert warm.values == cold.values
+
+    def test_suboptimal_feasible_seed_is_only_a_bound(self):
+        model = knapsack_model()
+        cold = bb_solve(model)
+        # a=1, b=1, c=1, d=1 is feasible but costs 13.
+        warm = bb_solve(
+            model, warm_start={"a": 1, "b": 1, "c": 1, "d": 1}
+        )
+        assert warm.values == cold.values
+        assert warm.objective == cold.objective == 4.0
+
+    def test_infeasible_seed_is_ignored(self):
+        model = knapsack_model()
+        cold = bb_solve(model)
+        warm = bb_solve(
+            model, warm_start={"a": 0, "b": 0, "c": 0, "d": 0}
+        )
+        assert warm.values == cold.values
+
+    def test_partial_seed_is_ignored(self):
+        model = knapsack_model()
+        cold = bb_solve(model)
+        warm = bb_solve(model, warm_start={"a": 1})
+        assert warm.values == cold.values
+
+    def test_seed_pruning_reduces_explored_nodes(self):
+        model = knapsack_model()
+        cold = bb_solve(model)
+        warm = bb_solve(model, warm_start=dict(cold.values))
+        assert warm.stats.nodes <= cold.stats.nodes
+
+
+class TestWarmStartThroughPresolve:
+    def test_seed_contradicting_a_fixing_is_discarded(self):
+        model = ZeroOneModel(name="t", sense=MINIMIZE)
+        model.add_var("x")
+        model.add_var("y")
+        model.add_var("z")
+        model.add_constraint({"x": 1.0}, "==", 1.0)  # presolve fixes x=1
+        model.add_constraint({"y": 1.0, "z": 1.0}, ">=", 1.0)
+        model.set_objective({"x": 1.0, "y": 2.0, "z": 3.0})
+        cold = ilp_solve(model, backend="branch-bound", presolve=True)
+        warm = ilp_solve(
+            model, backend="branch-bound", presolve=True,
+            warm_start={"x": 0, "y": 1, "z": 0},  # contradicts x=1
+        )
+        assert warm.values == cold.values
+        assert warm.objective == cold.objective == 3.0
+
+    def test_seed_projects_onto_free_variables(self):
+        model = ZeroOneModel(name="t", sense=MINIMIZE)
+        model.add_var("x")
+        model.add_var("y")
+        model.add_var("z")
+        model.add_constraint({"x": 1.0}, "==", 1.0)
+        model.add_constraint({"y": 1.0, "z": 1.0}, ">=", 1.0)
+        model.set_objective({"x": 1.0, "y": 2.0, "z": 3.0})
+        cold = ilp_solve(model, backend="branch-bound", presolve=True)
+        warm = ilp_solve(
+            model, backend="branch-bound", presolve=True,
+            warm_start={"x": 1, "y": 0, "z": 1},  # consistent, suboptimal
+        )
+        assert warm.values == cold.values
+
+
+class TestSelectionWarmStarts:
+    @pytest.mark.parametrize("presolve", [True, False])
+    def test_seeded_selection_is_identical(self, adi_assistant, presolve):
+        graph = adi_assistant.graph
+        cold = select_layouts(graph, presolve=presolve)
+        for backend in ("scipy", "branch-bound"):
+            warm = select_layouts(
+                graph, backend=backend, presolve=presolve,
+                warm_start=cold.selection,
+            )
+            assert warm.selection == cold.selection, backend
+            assert warm.objective == cold.objective, backend
+
+    def test_shifted_seed_is_repaired_not_trusted(self, adi_assistant):
+        graph = adi_assistant.graph
+        cold = select_layouts(graph, presolve=True)
+        shifted = {
+            p: (c + 1) % len(graph.node_costs[p])
+            for p, c in cold.selection.items()
+        }
+        warm = select_layouts(
+            graph, backend="branch-bound", presolve=True,
+            warm_start=shifted,
+        )
+        assert warm.selection == cold.selection
+        assert warm.objective == cold.objective
+
+
+class TestRemapChainReselect:
+    def chain(self, result):
+        """A remap chain: progressively forbid the incumbent's choice in
+        the first restrictable phase."""
+        allowed = {
+            p: set(range(len(result.graph.node_costs[p])))
+            for p in result.graph.node_costs
+        }
+        steps = []
+        current = result.selection
+        for _ in range(3):
+            target = next(
+                (p for p in sorted(allowed)
+                 if len(allowed[p] - {current.selection[p]}) >= 1),
+                None,
+            )
+            if target is None:
+                break
+            allowed[target] = allowed[target] - {
+                current.selection[target]
+            }
+            steps.append({p: set(v) for p, v in allowed.items()})
+        return steps
+
+    def test_warm_chain_equals_cold_chain(self):
+        result = run_assistant(
+            PROGRAMS["erlebacher"].source(n=16),
+            AssistantConfig(nprocs=4),
+        )
+        for allowed in self.chain(result):
+            warm = result.reselect(allowed=allowed)
+            cold = result.reselect(allowed=allowed, warm_start=False)
+            assert warm.selection == cold.selection
+            assert warm.objective == cold.objective
+            # the forbidden candidates really are avoided
+            for p, positions in allowed.items():
+                assert warm.selection[p] in positions
+
+    def test_reselect_repairs_seed_onto_allowed(self, adi_assistant):
+        result = adi_assistant
+        phase = sorted(result.graph.node_costs)[0]
+        ncands = len(result.graph.node_costs[phase])
+        if ncands < 2:
+            pytest.skip("phase has a single candidate")
+        # Restrict to everything but the incumbent: the repaired seed
+        # must still produce the restricted optimum.
+        allowed = {
+            phase: set(range(ncands)) - {result.selection.selection[phase]}
+        }
+        warm = result.reselect(allowed=allowed)
+        cold = result.reselect(allowed=allowed, warm_start=False)
+        assert warm.selection == cold.selection
+        assert warm.selection[phase] in allowed[phase]
+
+
+class TestDeadlineDegradation:
+    def test_expired_deadline_degrades_with_label(self, adi_assistant):
+        graph = adi_assistant.graph
+        reference = select_layouts(graph, presolve=True)
+        deadline = Deadline(1e-9)
+        while not deadline.expired():
+            pass
+        with collecting() as events:
+            with deadline_scope(deadline):
+                result = select_layouts(graph, presolve=True)
+        # The invariant: either the canonical optimum, or a labeled
+        # degradation — never a silent wrong answer.
+        if result.optimal:
+            assert result.selection == reference.selection
+            assert not events
+        else:
+            assert events, "non-optimal result must be labeled"
+            assert events[0].stage == "selection"
+            assert sorted(result.selection) == sorted(reference.selection)
+
+    def test_warm_start_does_not_mask_degradation(self, adi_assistant):
+        graph = adi_assistant.graph
+        reference = select_layouts(graph, presolve=True)
+        deadline = Deadline(1e-9)
+        while not deadline.expired():
+            pass
+        with collecting() as events:
+            with deadline_scope(deadline):
+                result = select_layouts(
+                    graph, presolve=True,
+                    warm_start=reference.selection,
+                )
+        if not result.optimal:
+            assert events
+            assert sorted(result.selection) == sorted(reference.selection)
+
+
+class TestSeededChaos:
+    def test_chaos_campaign_with_presolve_holds_the_invariant(self):
+        # The assistant now runs graph presolve by default, so every
+        # chaos case exercises the fast path against injected faults and
+        # deadline pressure; the invariant must hold unchanged.
+        report = run_chaos(
+            cases=6, seed=321, programs=("erlebacher",),
+            case_timeout_s=120.0, procs=4,
+        )
+        assert len(report.cases) == 6
+        assert report.ok, report.summary()
+
+
+class TestFuzzWiring:
+    def test_warm_start_check_is_registered(self):
+        report = run_fuzz(seed=920, cases=5, checks=["warm-start"])
+        assert report.ok, report.summary()
+        assert report.checks_run.get("warm-start") == 5
