@@ -16,7 +16,13 @@ kinds.  On top of the span stream:
   metrics registry (counters, cache, histograms with quantiles, pool
   health, span aggregates);
 - :mod:`log`        — the ``repro`` logger hierarchy behind
-  ``--log-level``.
+  ``--log-level``;
+- :mod:`telemetry`  — the append-only NDJSON event log (rotation,
+  crash-tolerant reads) and the process-wide ``emit`` sink registry;
+- :mod:`window`     — sliding-window latency sketches (time-bucketed
+  ring of mergeable geometric-bucket quantile sketches);
+- :mod:`slo`        — declarative objectives, error budgets, and
+  burn-rate alerting over the windows.
 
 With no active tracer every hook is a no-op and pipeline results are
 bitwise-identical to uninstrumented runs.
@@ -34,6 +40,27 @@ from .events import (
 from .log import LOG_LEVELS, configure_logging, get_logger
 from .prometheus import parse_prometheus_text, render_prometheus
 from .provenance import build_provenance, format_provenance
+from .slo import (
+    SLO_SCHEMA,
+    Objective,
+    SLOReport,
+    SLOValidationError,
+    evaluate_objectives,
+    format_slo_report,
+    load_objectives,
+    window_from_events,
+)
+from .telemetry import (
+    EVENT_SCHEMA,
+    EventLog,
+    EventValidationError,
+    emit,
+    install_sink,
+    read_event_log,
+    remove_sink,
+    validate_event,
+    validate_event_log,
+)
 from .tracing import (
     TRACE_SCHEMA,
     SpanRecord,
@@ -48,13 +75,23 @@ from .tracing import (
     span,
     start_trace,
 )
+from .window import LogBucketSketch, WindowedOpStats
 
 __all__ = [
+    "EVENT_SCHEMA",
+    "EventLog",
+    "EventValidationError",
     "LOG_LEVELS",
+    "LogBucketSketch",
+    "Objective",
+    "SLOReport",
+    "SLOValidationError",
+    "SLO_SCHEMA",
     "SpanRecord",
     "TRACE_SCHEMA",
     "TraceValidationError",
     "Tracer",
+    "WindowedOpStats",
     "activate",
     "active",
     "active_tracer",
@@ -62,14 +99,24 @@ __all__ = [
     "build_provenance",
     "configure_logging",
     "current_span_id",
+    "emit",
+    "evaluate_objectives",
     "finish_trace",
     "format_provenance",
+    "format_slo_report",
     "get_logger",
+    "install_sink",
     "iter_events",
+    "load_objectives",
     "load_trace",
     "parse_prometheus_text",
+    "read_event_log",
+    "remove_sink",
     "render_prometheus",
     "run_traced_job",
+    "validate_event",
+    "validate_event_log",
+    "window_from_events",
     "span",
     "spans_by_name",
     "start_trace",

@@ -200,6 +200,78 @@ def render_prometheus(
             "bench", name, snap,
         )
 
+    # Sliding-window view: per-op rates and quantiles over the last N
+    # minutes (the lifetime histograms above never forget; these do).
+    window_ops = (stats.get("window") or {}).get("ops", {})
+    if window_ops:
+        qps = registry.family(
+            "window_qps", "gauge",
+            "Requests per second over the sliding window, per op",
+        )
+        requests = registry.family(
+            "window_requests", "gauge",
+            "Requests observed inside the sliding window, per op",
+        )
+        error_rate = registry.family(
+            "window_error_rate", "gauge",
+            "Error fraction over the sliding window, per op",
+        )
+        degraded_rate = registry.family(
+            "window_degraded_rate", "gauge",
+            "Labeled-degraded fraction over the sliding window, per op",
+        )
+        window_q = registry.family(
+            "window_seconds_quantile", "gauge",
+            "Sketch-derived latency quantiles over the sliding window",
+        )
+        for op, entry in sorted(window_ops.items()):
+            full = entry.get("full", {})
+            qps.add(full.get("qps", 0.0), op=op)
+            requests.add(full.get("count", 0), op=op)
+            error_rate.add(full.get("error_rate", 0.0), op=op)
+            degraded_rate.add(full.get("degraded_rate", 0.0), op=op)
+            quantiles = full.get("quantiles") or {}
+            for q_label, key in QUANTILE_KEYS:
+                if quantiles.get(key) is not None:
+                    window_q.add(
+                        quantiles[key], op=op, quantile=q_label
+                    )
+
+    # Telemetry plumbing health: event-log and trace-sampler counters.
+    telemetry = stats.get("telemetry") or {}
+    events = telemetry.get("events") or {}
+    if events:
+        registry.family(
+            "eventlog_events_total", "counter",
+            "Events written to the structured event log",
+        ).add(events.get("events_total", 0))
+        registry.family(
+            "eventlog_rotations_total", "counter",
+            "Event-log segment rotations",
+        ).add(events.get("rotations_total", 0))
+        registry.family(
+            "eventlog_bad_lines_total", "counter",
+            "Corrupt or truncated event-log lines skipped on read",
+        ).add(events.get("bad_lines_total", 0))
+    sampler = telemetry.get("sampler") or {}
+    if sampler:
+        registry.family(
+            "trace_kept_total", "counter",
+            "Traces retained by the tail sampler",
+        ).add(sampler.get("kept_total", 0))
+        registry.family(
+            "trace_dropped_total", "counter",
+            "Traces discarded by the tail sampler",
+        ).add(sampler.get("dropped_total", 0))
+        reasons = registry.family(
+            "trace_kept_by_reason_total", "counter",
+            "Traces retained by the tail sampler, per retention reason",
+        )
+        for reason, count in sorted(
+            (sampler.get("kept_by_reason") or {}).items()
+        ):
+            reasons.add(count, reason=reason)
+
     gauges = registry.family("gauge", "gauge", "Service gauges")
     for name, value in sorted(stats.get("gauges", {}).items()):
         gauges.add(value, name=name)

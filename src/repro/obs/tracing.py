@@ -116,8 +116,14 @@ class Tracer:
         trace_id: Optional[str] = None,
         root_parent_id: Optional[str] = None,
         id_prefix: str = "",
+        detail: bool = True,
     ):
         self.name = name
+        #: record high-volume detail events (per-candidate estimates)?
+        #: Explicit ``--trace`` exports want them; always-on production
+        #: tracers pass ``detail=False`` so the per-request overhead
+        #: stays within the tail-sampling budget.
+        self.detail = detail
         self.trace_id = trace_id or uuid.uuid4().hex[:16]
         #: parent assigned to top-level spans (set for worker-side
         #: tracers so their spans nest under the dispatching span)
@@ -139,8 +145,10 @@ class Tracer:
 
     def begin(self, name: str, parent_id: Optional[str],
               attrs: Dict[str, Any]) -> SpanRecord:
-        with self._lock:
-            span_id = f"{self._id_prefix}{next(self._counter):x}"
+        # Lock-free: itertools.count.__next__ is atomic under the GIL,
+        # and this path runs once per span in always-on production
+        # tracing, so it must stay as close to free as possible.
+        span_id = f"{self._id_prefix}{next(self._counter):x}"
         t0 = time.perf_counter()
         return SpanRecord(
             span_id=span_id,
@@ -157,8 +165,9 @@ class Tracer:
         record.duration_us = max(
             int((time.perf_counter() - record._t0) * 1e6), 0
         )
-        with self._lock:
-            self._spans.append(record)
+        # list.append is atomic under the GIL; readers copy under the
+        # lock, which is safe against concurrent appends.
+        self._spans.append(record)
 
     def add_trace_event(self, name: str, attrs: Dict[str, Any]) -> None:
         with self._lock:
@@ -226,6 +235,14 @@ def active() -> bool:
     return _TRACER.get() is not None
 
 
+def detail_active() -> bool:
+    """Is a *detail* tracer active?  Guards high-volume per-item events
+    (one per estimation candidate) that explicit ``--trace`` exports
+    want but always-on production tracing must not pay for."""
+    tracer = _TRACER.get()
+    return tracer is not None and tracer.detail
+
+
 def active_tracer() -> Optional[Tracer]:
     return _TRACER.get()
 
@@ -267,26 +284,47 @@ def finish_trace() -> Dict[str, Any]:
     return tracer.to_dict()
 
 
-@contextmanager
-def span(name: str, /, **attrs: Any):
+class _SpanScope:
+    """The context manager :func:`span` returns — a plain class rather
+    than a ``@contextmanager`` generator because this is the hottest
+    instrumentation path under always-on tracing, and the generator
+    protocol roughly doubles its cost."""
+
+    __slots__ = ("_name", "_attrs", "_tracer", "_record", "_token")
+
+    def __init__(self, name: str, attrs: Dict[str, Any]):
+        self._name = name
+        self._attrs = attrs
+        self._tracer: Optional[Tracer] = None
+        self._record: Optional[SpanRecord] = None
+        self._token = None
+
+    def __enter__(self):
+        tracer = _TRACER.get()
+        if tracer is None:
+            return NULL_SPAN
+        stack = _STACK.get()
+        parent = stack[-1].span_id if stack else tracer.root_parent_id
+        record = tracer.begin(self._name, parent, self._attrs)
+        self._tracer = tracer
+        self._record = record
+        self._token = _STACK.set(stack + (record,))
+        return record
+
+    def __exit__(self, *exc_info) -> bool:
+        if self._record is not None:
+            _STACK.reset(self._token)
+            self._tracer.finish(self._record)
+        return False
+
+
+def span(name: str, /, **attrs: Any) -> _SpanScope:
     """Record a span around the block.  No-op when tracing is off.
 
     Yields a handle with ``set_attr(name, value)`` / ``add_event(name,
     **attrs)``; with tracing off the handle is :data:`NULL_SPAN`.
     """
-    tracer = _TRACER.get()
-    if tracer is None:
-        yield NULL_SPAN
-        return
-    stack = _STACK.get()
-    parent = stack[-1].span_id if stack else tracer.root_parent_id
-    record = tracer.begin(name, parent, attrs)
-    token = _STACK.set(stack + (record,))
-    try:
-        yield record
-    finally:
-        _STACK.reset(token)
-        tracer.finish(record)
+    return _SpanScope(name, attrs)
 
 
 def add_event(name: str, /, **attrs: Any) -> None:
@@ -314,19 +352,22 @@ def run_traced_job(
     prefix: str,
     fn: Callable[..., Any],
     args: Tuple,
+    detail: bool = True,
 ) -> Tuple[Any, List[Dict[str, Any]]]:
     """Run one pool job under a private tracer; return ``(value, spans)``.
 
     The worker-side tracer shares the dispatching trace's ID, roots its
-    spans under the dispatching span, and prefixes span IDs so the
-    merged trace stays collision-free.  Works identically in subprocess,
-    thread, and serial (degraded) execution.
+    spans under the dispatching span, prefixes span IDs so the merged
+    trace stays collision-free, and inherits the dispatcher's ``detail``
+    flag.  Works identically in subprocess, thread, and serial
+    (degraded) execution.
     """
     tracer = Tracer(
         name="job",
         trace_id=trace_id,
         root_parent_id=parent_id,
         id_prefix=prefix,
+        detail=detail,
     )
     with activate(tracer):
         with span(f"job:{getattr(fn, '__name__', 'fn')}"):

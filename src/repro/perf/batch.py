@@ -295,7 +295,7 @@ def estimate_phase_candidates_batched(
             replay = _Replay(table.values, start)
             estimate = _price_phase_via(replay, comp, nprocs, options)
             assert replay.pos == end, "collect/assemble request mismatch"
-            if tracing.active():
+            if tracing.detail_active():
                 tracing.add_event(
                     "estimate.candidate",
                     phase=phase.index,

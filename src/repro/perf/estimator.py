@@ -76,7 +76,7 @@ def estimate_phase_candidates(
                 phase, candidate.layout, symbols, params
             )
             estimate = price_phase(compiled, db, nprocs, options)
-            if tracing.active():
+            if tracing.detail_active():
                 tracing.add_event(
                     "estimate.candidate",
                     phase=phase.index,

@@ -21,6 +21,8 @@ import threading
 import time
 from typing import Any, Callable, Dict, Optional
 
+from ..obs import telemetry
+
 CLOSED = "closed"
 OPEN = "open"
 HALF_OPEN = "half-open"
@@ -63,7 +65,17 @@ class CircuitBreaker:
         ):
             self._state = HALF_OPEN
             self._probes_inflight = 0
+            self._emit_transition(OPEN, HALF_OPEN)
         return self._state
+
+    def _emit_transition(self, old: str, new: str) -> None:
+        """Every state change becomes a telemetry event (no-op without
+        an installed sink; sinks never raise back into the breaker)."""
+        telemetry.emit(
+            "breaker.transition",
+            breaker=self.name, from_state=old, to_state=new,
+            opens_total=self.opens_total,
+        )
 
     def allow(self) -> bool:
         """May a call proceed right now?"""
@@ -81,10 +93,13 @@ class CircuitBreaker:
 
     def record_success(self) -> None:
         with self._lock:
+            old = self._state
             self._consecutive_failures = 0
             if self._state == HALF_OPEN:
                 self._probes_inflight = 0
             self._state = CLOSED
+            if old != CLOSED:
+                self._emit_transition(old, CLOSED)
 
     def record_failure(self) -> None:
         with self._lock:
@@ -98,11 +113,13 @@ class CircuitBreaker:
                 self._trip_locked()
 
     def _trip_locked(self) -> None:
+        old = self._state
         self._state = OPEN
         self._opened_at = self._clock()
         self._consecutive_failures = 0
         self._probes_inflight = 0
         self.opens_total += 1
+        self._emit_transition(old, OPEN)
 
     def reset(self) -> None:
         """Force-close (tests and admin tooling)."""

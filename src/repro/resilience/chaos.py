@@ -32,6 +32,8 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..obs import telemetry
+from ..obs.telemetry import EventLog
 from ..perf.bench.suite import BENCH_SIZES
 from .atomic import atomic_write_json
 from .faults import FaultPlan, FaultSpec, armed
@@ -104,6 +106,9 @@ class CaseResult:
     outcome: str  # "ok" | "degraded" | "typed-error" | "violation"
     detail: str = ""
     faults_fired: int = 0
+    #: ``fault.injected`` telemetry events observed during the case —
+    #: must cover ``faults_fired`` (a shortfall is a *silent fault*)
+    faults_observed: int = 0
     seconds: float = 0.0
 
     @property
@@ -119,6 +124,7 @@ class CaseResult:
             "outcome": self.outcome,
             "detail": self.detail,
             "faults_fired": self.faults_fired,
+            "faults_observed": self.faults_observed,
             "seconds": round(self.seconds, 4),
         }
 
@@ -294,8 +300,19 @@ def run_case(
         except BaseException as exc:  # noqa: BLE001 - verdict, not flow
             box["crash"] = exc
 
+    # Count ``fault.injected`` telemetry during the case: every firing
+    # the injector records must surface as an event — a shortfall is a
+    # silent fault, itself an invariant violation.  (list.append is
+    # atomic under the GIL, so the counter is thread-safe.)
+    observed: List[int] = []
+
+    def count_faults(type_: str, attrs: Dict[str, Any]) -> None:
+        if type_ == "fault.injected":
+            observed.append(1)
+
     start = perf_counter()
     fired = 0
+    telemetry.install_sink(count_faults)
     try:
         with armed(plan) as injector:
             thread = threading.Thread(target=work, daemon=True)
@@ -316,7 +333,19 @@ def run_case(
             )
         else:
             outcome, detail = _classify(box.get("response"), reference)
+        if len(observed) < fired:
+            # Firing counters move under the injector lock while the
+            # emit happens just after it; give a straggler thread one
+            # beat before calling the fault silent.
+            thread.join(timeout=0.1)
+        if outcome != "violation" and not hung and len(observed) < fired:
+            outcome, detail = (
+                "violation",
+                f"silent fault: {fired} injected but only "
+                f"{len(observed)} fault.injected telemetry events",
+            )
     finally:
+        telemetry.remove_sink(count_faults)
         shutil.rmtree(cache_dir, ignore_errors=True)
     return CaseResult(
         index=index,
@@ -326,6 +355,7 @@ def run_case(
         outcome=outcome,
         detail=detail,
         faults_fired=fired,
+        faults_observed=len(observed),
         seconds=perf_counter() - start,
     )
 
@@ -342,39 +372,45 @@ def run_chaos(
     case_timeout_s: float = 60.0,
     procs: int = 4,
     artifact_dir: Optional[str] = None,
+    events_dir: Optional[str] = None,
     progress=None,
 ) -> ChaosReport:
     """Run a campaign of up to ``cases`` seeded cases (stopping early
     when ``budget_s`` wall-clock seconds run out), cycling through
     ``programs``.  Violating cases write their fault plans under
-    ``artifact_dir`` for verbatim replay."""
+    ``artifact_dir`` for verbatim replay; every case's verdict is also
+    written through the structured event log (durable under
+    ``events_dir``, in-memory otherwise)."""
     report = ChaosReport(seed=seed)
     references: Dict[str, Dict[str, Any]] = {}
     start = perf_counter()
-    for index in range(cases):
-        if budget_s is not None and perf_counter() - start >= budget_s:
-            break
-        program = programs[index % len(programs)]
-        reference = dict(
-            _reference_response(program, procs, references)
-        )
-        reference["_procs"] = procs
-        case = run_case(
-            index=index,
-            seed=seed + index,
-            program=program,
-            reference=reference,
-            case_timeout_s=case_timeout_s,
-        )
-        report.cases.append(case)
-        if progress is not None:
-            progress(case)
-        if case.violated and artifact_dir:
-            os.makedirs(artifact_dir, exist_ok=True)
-            atomic_write_json(
-                os.path.join(
-                    artifact_dir, f"violation-{case.index}.json"
-                ),
-                case.to_dict(),
+    with EventLog(events_dir) as event_log:
+        for index in range(cases):
+            if budget_s is not None and perf_counter() - start >= budget_s:
+                break
+            program = programs[index % len(programs)]
+            reference = dict(
+                _reference_response(program, procs, references)
             )
+            reference["_procs"] = procs
+            case = run_case(
+                index=index,
+                seed=seed + index,
+                program=program,
+                reference=reference,
+                case_timeout_s=case_timeout_s,
+            )
+            report.cases.append(case)
+            event_log.record("chaos.case", case.to_dict())
+            if progress is not None:
+                progress(case)
+            if case.violated and artifact_dir:
+                os.makedirs(artifact_dir, exist_ok=True)
+                atomic_write_json(
+                    os.path.join(
+                        artifact_dir, f"violation-{case.index}.json"
+                    ),
+                    case.to_dict(),
+                )
+        event_log.record("chaos.campaign", report.to_dict())
     return report

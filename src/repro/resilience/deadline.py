@@ -21,26 +21,39 @@ from contextvars import ContextVar
 from time import perf_counter
 from typing import Iterator, Optional
 
+from ..obs import telemetry
 from .errors import DeadlineExceeded
 
 
 class Deadline:
     """A wall-clock budget anchored on the monotonic clock."""
 
-    __slots__ = ("budget_s", "_expires_at")
+    __slots__ = ("budget_s", "_expires_at", "_reported")
 
     def __init__(self, budget_s: float):
         if budget_s <= 0:
             raise ValueError(f"deadline budget must be > 0, got {budget_s}")
         self.budget_s = float(budget_s)
         self._expires_at = perf_counter() + self.budget_s
+        self._reported = False
 
     def remaining(self) -> float:
         """Seconds left; negative once expired."""
         return self._expires_at - perf_counter()
 
     def expired(self) -> bool:
-        return self.remaining() <= 0.0
+        if self.remaining() > 0.0:
+            return False
+        # One telemetry event per deadline, on first observation of
+        # expiry (a benign race can at worst duplicate it).
+        if not self._reported:
+            self._reported = True
+            telemetry.emit(
+                "deadline.expired",
+                budget_s=self.budget_s,
+                overrun_s=-self.remaining(),
+            )
+        return True
 
     def check(self, label: str = "") -> None:
         """Raise :class:`DeadlineExceeded` if the budget ran out."""

@@ -12,7 +12,9 @@ stands in for an expired solve, the code calls
   outputs out of the persistent cache;
 - the active trace, as a ``resilience.degraded`` event with
   ``optimal=False``, so ``repro explain`` provenance shows exactly
-  which decision was heuristic.
+  which decision was heuristic;
+- the telemetry event log (when a service has installed a sink), as a
+  durable ``degradation`` event.
 """
 
 from __future__ import annotations
@@ -22,7 +24,7 @@ from contextvars import ContextVar
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional
 
-from ..obs import tracing
+from ..obs import telemetry, tracing
 
 
 @dataclass(frozen=True)
@@ -69,6 +71,9 @@ def note_degradation(stage: str, reason: str,
         reason=reason,
         detail=detail,
         optimal=False,
+    )
+    telemetry.emit(
+        "degradation", stage=stage, reason=reason, detail=detail
     )
     return event
 

@@ -36,6 +36,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
 
+from ..obs import telemetry
 from .errors import InjectedFault
 
 #: every instrumented injection point in the codebase
@@ -173,6 +174,7 @@ class FaultInjector:
         :func:`fault_point`."""
         delays = 0.0
         raised: Optional[FaultSpec] = None
+        fired: List[Tuple[str, str, str]] = []
         with self._lock:
             for i, spec in enumerate(self.plan.specs):
                 if spec.mode == "corrupt":
@@ -182,10 +184,19 @@ class FaultInjector:
                 if not self._due(i, spec):
                     continue
                 self.log.append((site, spec.mode, spec.detail))
+                fired.append((site, spec.mode, spec.detail))
                 if spec.mode == "delay":
                     delays += spec.delay_s
                 elif raised is None:
                     raised = spec
+        # Telemetry after the lock is released: sinks may take their
+        # own locks (event log), and a sink must never deadlock or
+        # suppress the injected fault itself.
+        for f_site, f_mode, f_detail in fired:
+            telemetry.emit(
+                "fault.injected",
+                site=f_site, mode=f_mode, detail=f_detail,
+            )
         if delays > 0.0:
             time.sleep(delays)
         if raised is not None:
@@ -195,6 +206,7 @@ class FaultInjector:
         """Apply matching ``corrupt`` specs to a byte payload; called
         from :func:`corrupt_point`."""
         out = data
+        fired: List[Tuple[str, str, str]] = []
         with self._lock:
             for i, spec in enumerate(self.plan.specs):
                 if spec.mode != "corrupt":
@@ -204,7 +216,13 @@ class FaultInjector:
                 if not self._due(i, spec):
                     continue
                 self.log.append((site, "corrupt", spec.detail))
+                fired.append((site, "corrupt", spec.detail))
                 out = _mangle(out, self._rngs[i])
+        for f_site, f_mode, f_detail in fired:
+            telemetry.emit(
+                "fault.injected",
+                site=f_site, mode=f_mode, detail=f_detail,
+            )
         return out
 
     def fired_count(self) -> int:

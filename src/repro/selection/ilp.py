@@ -373,7 +373,7 @@ def select_layouts(
             if result is not None:
                 sp.set_attr("objective_us", result.objective)
                 sp.set_attr("optimal", result.optimal)
-                if tracing.active():
+                if tracing.detail_active():
                     _record_provenance(graph, result.selection)
                 return result
         ilp = build_selection_model(graph, allowed=allowed)
@@ -423,7 +423,7 @@ def select_layouts(
                 )
         sp.set_attr("objective_us", evaluated)
         sp.set_attr("optimal", optimal)
-        if tracing.active():
+        if tracing.detail_active():
             _record_provenance(graph, selection)
     return SelectionResult(
         selection=selection,

@@ -136,7 +136,7 @@ def build_layout_graph(
         )
         graph_span.set_attr("nodes", graph.num_nodes())
         graph_span.set_attr("edges", len(graph.edges))
-        if tracing.active():
+        if tracing.detail_active():
             for array, edges in sorted(graph.transitions.items()):
                 tracing.add_event(
                     "graph.transitions",

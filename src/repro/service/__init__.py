@@ -7,8 +7,10 @@ this package turns the one-shot CLI pipeline into a long-lived service:
 - :mod:`cache`    — content-addressed per-stage result cache;
 - :mod:`pool`     — resilient ``concurrent.futures`` worker pool;
 - :mod:`jobs`     — the pure-function job boundary workers execute;
-- :mod:`metrics`  — counters, cache stats, wall-time histograms;
+- :mod:`metrics`  — counters, cache stats, wall-time histograms, and
+  per-op sliding windows;
 - :mod:`protocol` — JSON request/response schemas;
+- :mod:`telemetry`— the service's event log + tail-based trace sampler;
 - :mod:`errors`   — the error taxonomy surfaced to clients.
 """
 
@@ -30,6 +32,7 @@ from .server import (
     LayoutService,
     send_request,
 )
+from .telemetry import ServiceTelemetry, TailSampler
 
 __all__ = [
     "DEFAULT_HOST",
@@ -43,9 +46,11 @@ __all__ = [
     "RequestTimeoutError",
     "RequestValidationError",
     "ServiceError",
+    "ServiceTelemetry",
     "StageCache",
     "StageKeys",
     "StageTiming",
+    "TailSampler",
     "WorkerPool",
     "send_request",
 ]

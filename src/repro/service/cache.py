@@ -43,6 +43,7 @@ from collections import OrderedDict
 from typing import Any, Dict, Optional, Tuple
 
 from ..frontend.printer import format_program
+from ..obs import telemetry
 from ..perf.training import machine_cache_key
 from ..resilience.atomic import (
     atomic_write_bytes,
@@ -164,8 +165,13 @@ class StageCache:
         return os.path.join(self.root, stage, f"{key}.pkl")
 
     def _quarantine(self, path: str) -> None:
-        if quarantine(path) is not None:
+        moved = quarantine(path)
+        if moved is not None:
             self.quarantined_total += 1
+            telemetry.emit(
+                "cache.quarantine", path=path, moved_to=moved,
+                quarantined_total=self.quarantined_total,
+            )
 
     # -- operations ------------------------------------------------------
 

@@ -11,10 +11,16 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
-#: histogram bucket upper bounds, in seconds (+inf is implicit)
+from ..obs.window import DEFAULT_FAST_S, WindowedOpStats
+
+#: histogram bucket upper bounds, in seconds (+inf is implicit).  The
+#: sub-millisecond bounds exist because batched estimation (PR 8) pushed
+#: several stage times under 1ms — without them every fast stage landed
+#: in one bucket and the derived quantiles were pure interpolation.
 DEFAULT_BUCKETS = (
+    1e-05, 5e-05, 0.0001, 0.00025, 0.0005,
     0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0,
 )
 
@@ -97,7 +103,7 @@ class Histogram:
 class Metrics:
     """All service counters behind one lock."""
 
-    def __init__(self) -> None:
+    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
         self._lock = threading.Lock()
         self._counters: Dict[str, int] = {}
         self._gauges: Dict[str, float] = {}
@@ -105,11 +111,13 @@ class Metrics:
         self._stage_seconds: Dict[str, Histogram] = {}
         self._span_seconds: Dict[str, Histogram] = {}
         self._bench_seconds: Dict[str, Histogram] = {}
+        self._windows: Dict[str, WindowedOpStats] = {}
+        self._clock = clock
         self.started_at = time.time()
         # Uptime is measured on the monotonic clock so it can never go
         # negative or jump when the system clock is adjusted;
         # ``started_at`` stays wall-clock for display only.
-        self._started_monotonic = time.monotonic()
+        self._started_monotonic = clock()
 
     # -- recording -------------------------------------------------------
 
@@ -151,6 +159,19 @@ class Metrics:
                 hist = self._bench_seconds[name] = Histogram()
             hist.observe(seconds)
 
+    def observe_op(self, op: str, seconds: float, ok: bool = True,
+                   degraded: bool = False) -> None:
+        """Record one completed service operation into its sliding
+        window (the lifetime histograms are unaffected — windows answer
+        "now", histograms answer "ever")."""
+        with self._lock:
+            window = self._windows.get(op)
+            if window is None:
+                window = self._windows[op] = WindowedOpStats(
+                    clock=self._clock
+                )
+            window.observe(seconds, ok=ok, degraded=degraded)
+
     # -- reading ---------------------------------------------------------
 
     def counter(self, name: str) -> int:
@@ -171,11 +192,32 @@ class Metrics:
         with self._lock:
             return self._cache_totals_locked()
 
+    def window_snapshot(
+        self, fast_s: float = DEFAULT_FAST_S, sketch: bool = True
+    ) -> Dict[str, Any]:
+        """Per-op sliding-window views: a ``full``-window and a
+        ``fast``-horizon snapshot per op, the input shape of
+        :func:`repro.obs.slo.evaluate_objectives`."""
+        with self._lock:
+            windows = dict(self._windows)
+        ops = {
+            op: {
+                "full": window.snapshot(sketch=sketch),
+                "fast": window.snapshot(horizon_s=fast_s, sketch=sketch),
+            }
+            for op, window in sorted(windows.items())
+        }
+        window_s = max(
+            (w.window_s for w in windows.values()), default=0.0
+        )
+        return {"window_s": window_s, "fast_s": fast_s, "ops": ops}
+
     def snapshot(self) -> Dict[str, object]:
+        window = self.window_snapshot()
         with self._lock:
             hits, misses = self._cache_totals_locked()
             return {
-                "uptime_seconds": time.monotonic() - self._started_monotonic,
+                "uptime_seconds": self._clock() - self._started_monotonic,
                 "counters": dict(self._counters),
                 "gauges": dict(self._gauges),
                 "cache": {
@@ -198,4 +240,5 @@ class Metrics:
                     name: hist.snapshot()
                     for name, hist in sorted(self._bench_seconds.items())
                 },
+                "window": window,
             }

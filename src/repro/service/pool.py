@@ -159,7 +159,7 @@ class WorkerPool:
             prefix = tracer.new_prefix()
             wrapped = [
                 (tracer.trace_id, pool_span.span_id,
-                 f"{prefix}{i}.", fn, tuple(args))
+                 f"{prefix}{i}.", fn, tuple(args), tracer.detail)
                 for i, args in enumerate(argtuples)
             ]
             pairs = self._dispatch(tracing.run_traced_job, wrapped)

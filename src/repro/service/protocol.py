@@ -5,8 +5,14 @@ over TCP).  Every request carries an ``op``:
 
 - ``analyze``  — run the framework, return selected layouts (pass
   ``"trace": true`` to also receive the request's span trace);
-- ``stats``    — observability snapshot (counters, cache, histograms);
+- ``stats``    — observability snapshot (counters, cache, histograms,
+  sliding windows, telemetry);
 - ``metrics``  — the same registry as Prometheus text exposition;
+- ``slo``      — evaluate SLO objectives against the live sliding
+  windows (the server's configured set, or ``"objectives": [...]``
+  from the request);
+- ``events``   — tail of the structured event log (``limit``,
+  optional ``type`` filter);
 - ``ping``     — liveness probe;
 - ``shutdown`` — stop the server.
 
@@ -27,7 +33,8 @@ from ..tool.assistant import AssistantConfig, AssistantResult
 from .errors import RequestValidationError
 
 #: ops a server understands
-OPS = ("analyze", "stats", "metrics", "ping", "shutdown")
+OPS = ("analyze", "stats", "metrics", "slo", "events", "ping",
+       "shutdown")
 
 #: fields accepted in an analyze request
 _ANALYZE_FIELDS = {

@@ -28,6 +28,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..obs import tracing
 from ..obs.log import get_logger
 from ..obs.prometheus import render_prometheus
+from ..obs.slo import Objective, SLOValidationError, evaluate_objectives
 from ..resilience.deadline import Deadline, deadline_scope
 from ..resilience.degrade import collecting, noted_count
 from ..resilience.errors import InjectedFault
@@ -45,7 +46,8 @@ from .cache import StageCache, StageKeys
 from .errors import RequestTimeoutError, ServiceError
 from .metrics import Metrics
 from .pool import WorkerPool
-from .protocol import LayoutRequest, LayoutResponse, StageTiming
+from .protocol import OPS, LayoutRequest, LayoutResponse, StageTiming
+from .telemetry import ServiceTelemetry
 
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 7861
@@ -71,15 +73,27 @@ class LayoutService:
         metrics: Optional[Metrics] = None,
         request_timeout: Optional[float] = None,
         use_cache: bool = True,
+        telemetry: Optional[ServiceTelemetry] = None,
+        objectives: Optional[List[Objective]] = None,
     ):
         self.cache = StageCache(cache_dir)
         self.pool = pool if pool is not None else WorkerPool()
         self.metrics = metrics or Metrics()
         self.request_timeout = request_timeout
         self.use_cache = use_cache
+        # The telemetry plane is always on: with no events_dir the log
+        # is a bounded in-memory ring, so embedded use costs nothing on
+        # disk.  Installing makes this service the process-wide sink
+        # for resilience events (breaker trips, degradations, ...).
+        self.telemetry = (
+            telemetry if telemetry is not None else ServiceTelemetry()
+        )
+        self.telemetry.install()
+        self.objectives = list(objectives or [])
 
     def close(self) -> None:
         self.pool.shutdown()
+        self.telemetry.close()
 
     def __enter__(self) -> "LayoutService":
         return self
@@ -195,7 +209,11 @@ class LayoutService:
         (ContextVars do not cross threads on their own)."""
         self.metrics.inc("requests_total")
         start = perf_counter()
-        tracer = tracing.Tracer(name="request")
+        # Detail events (per-candidate estimates, CAG edges) only when
+        # the client explicitly asked for the trace; the always-on
+        # production tracer records structure and summary attrs so its
+        # overhead stays inside the tail-sampling budget.
+        tracer = tracing.Tracer(name="request", detail=request.trace)
         deadline = self._request_deadline(request)
 
         def pipeline() -> Tuple[
@@ -232,6 +250,10 @@ class LayoutService:
                     request.request_id or "<anonymous>",
                     self.request_timeout,
                 )
+                self._record_analyze(
+                    request, tracer, perf_counter() - start,
+                    ok=False, error_kind="timeout",
+                )
                 return LayoutResponse.failure(
                     RequestTimeoutError(
                         f"request exceeded {self.request_timeout}s"
@@ -243,6 +265,11 @@ class LayoutService:
                 logger.warning(
                     "request %s failed: %s",
                     request.request_id or "<anonymous>", exc,
+                )
+                self._record_analyze(
+                    request, tracer, perf_counter() - start,
+                    ok=False,
+                    error_kind=getattr(exc, "kind", "internal"),
                 )
                 return LayoutResponse.failure(
                     exc, request_id=request.request_id
@@ -259,7 +286,12 @@ class LayoutService:
                     f"{d['stage']}:{d['reason']}" for d in degradations
                 ),
             )
-        self.metrics.observe_stage("request", perf_counter() - start)
+        seconds = perf_counter() - start
+        self.metrics.observe_stage("request", seconds)
+        self._record_analyze(
+            request, tracer, seconds,
+            ok=True, degraded=bool(degradations),
+        )
         response = LayoutResponse.from_result(
             result, timings, request_id=request.request_id,
             degradations=degradations,
@@ -267,6 +299,27 @@ class LayoutService:
         if request.trace:
             response.trace = tracer.to_dict()
         return response
+
+    def _record_analyze(
+        self,
+        request: LayoutRequest,
+        tracer: tracing.Tracer,
+        seconds: float,
+        ok: bool,
+        degraded: bool = False,
+        error_kind: Optional[str] = None,
+    ) -> None:
+        """Feed one finished analyze into the sliding window, the event
+        log, and the tail sampler (which serializes the trace only when
+        it decides to keep it)."""
+        self.metrics.observe_op(
+            "analyze", seconds, ok=ok, degraded=degraded
+        )
+        self.telemetry.record_request(
+            "analyze", seconds, ok=ok, degraded=degraded,
+            request_id=request.request_id, error_kind=error_kind,
+            tracer=tracer,
+        )
 
     def _fold_trace(self, tracer: tracing.Tracer) -> None:
         """Fold a request trace's span durations into the registry so
@@ -314,6 +367,7 @@ class LayoutService:
             "cache_quarantined_total", cache_state["quarantined_total"]
         )
         snapshot = self.metrics.snapshot()
+        snapshot["telemetry"] = self.telemetry.describe()
         snapshot["pool"] = pool
         snapshot["cache"]["disk_entries"] = self.cache.entry_count()
         snapshot["cache"]["dir"] = self.cache.root
@@ -327,6 +381,19 @@ class LayoutService:
         """The metrics registry in Prometheus text exposition format."""
         return render_prometheus(self.stats())
 
+    def slo_report(
+        self, objectives: Optional[List[Objective]] = None,
+        require_data: bool = False,
+    ) -> Dict[str, Any]:
+        """Evaluate objectives (given or configured) against the live
+        sliding windows; returns the serialized report."""
+        report = evaluate_objectives(
+            objectives if objectives is not None else self.objectives,
+            self.metrics.window_snapshot(),
+            require_data=require_data,
+        )
+        return report.to_dict()
+
     def handle(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         """Dispatch one decoded protocol message."""
         op = payload.get("op", "analyze")
@@ -335,9 +402,35 @@ class LayoutService:
             fault_point("service.request")
         except InjectedFault as exc:
             self.metrics.inc("requests_failed")
+            if op in OPS:
+                self.metrics.observe_op(op, 0.0, ok=False)
+                self.telemetry.record_request(
+                    op, 0.0, ok=False, error_kind=exc.kind,
+                    request_id=payload.get("request_id"),
+                )
             return {"ok": False, "error": str(exc),
                     "error_kind": exc.kind,
                     "request_id": payload.get("request_id")}
+        if op == "analyze":
+            # analyze records its own telemetry (it has the tracer)
+            return self.analyze_dict(payload)
+        start = perf_counter()
+        response = self._handle_light(op, payload)
+        if op in OPS:
+            seconds = perf_counter() - start
+            ok = bool(response.get("ok"))
+            self.metrics.observe_op(op, seconds, ok=ok)
+            self.telemetry.record_request(
+                op, seconds, ok=ok,
+                request_id=payload.get("request_id"),
+                error_kind=None if ok else response.get("error_kind"),
+            )
+        return response
+
+    def _handle_light(
+        self, op: str, payload: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """The non-analyze ops (cheap, no tracer of their own)."""
         if op == "ping":
             return {"ok": True, "op": "ping"}
         if op == "stats":
@@ -345,11 +438,44 @@ class LayoutService:
         if op == "metrics":
             return {"ok": True, "op": "metrics",
                     "text": self.prometheus()}
+        if op == "slo":
+            raw = payload.get("objectives")
+            try:
+                if raw is not None:
+                    if not isinstance(raw, list) or not raw:
+                        raise SLOValidationError(
+                            "'objectives' must be a non-empty list"
+                        )
+                    objectives = [Objective.from_dict(o) for o in raw]
+                elif self.objectives:
+                    objectives = None  # use the configured set
+                else:
+                    raise SLOValidationError(
+                        "no objectives configured on this server; "
+                        "pass 'objectives' in the request"
+                    )
+            except SLOValidationError as exc:
+                return {"ok": False, "error": str(exc),
+                        "error_kind": "bad-request"}
+            require_data = bool(payload.get("require_data", False))
+            return {"ok": True, "op": "slo",
+                    "report": self.slo_report(
+                        objectives, require_data=require_data)}
+        if op == "events":
+            try:
+                limit = int(payload.get("limit", 100))
+            except (TypeError, ValueError):
+                return {"ok": False,
+                        "error": "'limit' must be an integer",
+                        "error_kind": "bad-request"}
+            events = self.telemetry.events.tail(
+                limit=limit, type=payload.get("type")
+            )
+            return {"ok": True, "op": "events", "events": events,
+                    "telemetry": self.telemetry.describe()}
         if op == "shutdown":
             logger.info("shutdown requested over the protocol")
             return {"ok": True, "op": "shutdown"}
-        if op == "analyze":
-            return self.analyze_dict(payload)
         self.metrics.inc("requests_failed")
         logger.warning("rejecting unknown op %r", op)
         return {"ok": False, "error": f"unknown op {op!r}",

@@ -245,9 +245,30 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    from ..obs.slo import SLOValidationError, load_objectives
     from ..resilience.breaker import Backoff
-    from ..service import LayoutServer, LayoutService, WorkerPool
+    from ..service import (
+        LayoutServer,
+        LayoutService,
+        ServiceTelemetry,
+        TailSampler,
+        WorkerPool,
+    )
 
+    objectives = None
+    if args.slo_file:
+        try:
+            objectives = load_objectives(args.slo_file)
+        except SLOValidationError as exc:
+            logger.error("bad objectives file: %s", exc)
+            return 2
+    telemetry = ServiceTelemetry(
+        events_dir=args.telemetry_dir,
+        sampler=TailSampler(
+            slow_s=args.slow_trace_ms / 1e3,
+            sample_every=args.trace_sample_every,
+        ),
+    )
     service = LayoutService(
         cache_dir=args.cache_dir,
         pool=WorkerPool(kind=args.pool, max_workers=args.workers,
@@ -256,12 +277,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
                         backoff=Backoff(base_s=args.retry_backoff)),
         request_timeout=args.request_timeout,
         use_cache=not args.no_cache,
+        telemetry=telemetry,
+        objectives=objectives,
     )
     server = LayoutServer((args.host, args.port), service)
     logger.info(
-        "layout service listening on %s:%s (pool: %s, cache: %s)",
+        "layout service listening on %s:%s (pool: %s, cache: %s, "
+        "events: %s, objectives: %d)",
         args.host, server.port, service.pool.active_kind,
         args.cache_dir or "memory-only",
+        args.telemetry_dir or "memory-only",
+        len(objectives or []),
     )
     try:
         server.serve_forever()
@@ -345,6 +371,129 @@ def cmd_service(args: argparse.Namespace) -> int:
     else:
         print(json.dumps(resp))
     return 0
+
+
+def cmd_slo(args: argparse.Namespace) -> int:
+    """Evaluate declared objectives against a live service or a
+    recorded event log.  ``check`` exits 1 on violation, 2 on input
+    error; ``report`` only fails (2) on input errors."""
+    import json
+    import os
+
+    from ..obs.slo import (
+        SLOReport,
+        SLOValidationError,
+        evaluate_objectives,
+        format_slo_report,
+        load_objectives,
+        window_from_events,
+    )
+
+    try:
+        objectives = load_objectives(args.objectives)
+    except SLOValidationError as exc:
+        logger.error("bad objectives file: %s", exc)
+        return 2
+
+    if args.events:
+        from ..obs.telemetry import read_event_log
+
+        if not os.path.exists(args.events):
+            logger.error("no event log at %r", args.events)
+            return 2
+        events, bad = read_event_log(args.events)
+        if bad:
+            logger.warning("skipped %d unreadable event-log lines", bad)
+        windows = window_from_events(events, window_s=args.window)
+        report = evaluate_objectives(
+            objectives, windows, require_data=args.require_data
+        )
+    else:
+        from ..service import send_request
+
+        payload = {
+            "op": "slo",
+            "objectives": [o.to_dict() for o in objectives],
+            "require_data": args.require_data,
+        }
+        try:
+            resp = send_request(payload, host=args.host, port=args.port,
+                                timeout=args.timeout)
+        except OSError as exc:
+            logger.error(
+                "cannot reach layout service at %s:%s (%s); "
+                "start one with: autolayout serve",
+                args.host, args.port, exc,
+            )
+            return 2
+        if not resp.get("ok"):
+            logger.error("slo evaluation failed: %s", resp.get("error"))
+            return 2
+        try:
+            report = SLOReport.from_dict(resp.get("report", {}))
+        except SLOValidationError as exc:
+            logger.error("unreadable slo report from service: %s", exc)
+            return 2
+
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_slo_report(report))
+    if args.action == "check" and not report.ok:
+        return 1
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live dashboard over the service's windowed stats (``--once``
+    prints a single page, for CI logs and tests)."""
+    import time as _time
+
+    from ..obs.slo import SLOValidationError, load_objectives
+    from ..service import send_request
+    from .top import CLEAR, format_top
+
+    objectives = None
+    if args.objectives:
+        try:
+            objectives = load_objectives(args.objectives)
+        except SLOValidationError as exc:
+            logger.error("bad objectives file: %s", exc)
+            return 2
+
+    def one_page() -> str:
+        resp = send_request({"op": "stats"}, host=args.host,
+                            port=args.port, timeout=args.timeout)
+        if not resp.get("ok"):
+            raise OSError(resp.get("error", "stats request failed"))
+        slo_report = None
+        if objectives is not None:
+            slo_resp = send_request(
+                {"op": "slo",
+                 "objectives": [o.to_dict() for o in objectives]},
+                host=args.host, port=args.port, timeout=args.timeout,
+            )
+            if slo_resp.get("ok"):
+                slo_report = slo_resp.get("report")
+        return format_top(resp["stats"], slo_report)
+
+    try:
+        if args.once:
+            print(one_page())
+            return 0
+        while True:  # pragma: no cover - interactive loop
+            page = one_page()
+            print(CLEAR + page, flush=True)
+            _time.sleep(args.interval)
+    except OSError as exc:
+        logger.error(
+            "cannot reach layout service at %s:%s (%s); "
+            "start one with: autolayout serve",
+            args.host, args.port, exc,
+        )
+        return 1
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        return 0
 
 
 def _parse_budget(text: str) -> float:
@@ -457,6 +606,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         procs=args.procs,
         artifact_dir=args.artifacts,
         progress=progress,
+        events_dir=args.events,
     )
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
@@ -797,6 +947,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="per-request deadline (s)")
     p_serve.add_argument("--no-cache", action="store_true",
                          help="disable the stage cache")
+    p_serve.add_argument("--telemetry-dir",
+                         help="persist the NDJSON event log here "
+                              "(omit for an in-memory ring)")
+    p_serve.add_argument("--slo-file",
+                         help="objectives file served by the slo op and "
+                              "`repro slo` by default")
+    p_serve.add_argument("--slow-trace-ms", type=float, default=250.0,
+                         help="keep the full span tree of requests "
+                              "slower than this (tail sampling)")
+    p_serve.add_argument("--trace-sample-every", type=int, default=20,
+                         help="also keep every K-th healthy trace "
+                              "(deterministic on trace id)")
     p_serve.set_defaults(func=cmd_serve)
 
     p_request = sub.add_parser(
@@ -824,6 +986,43 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_service.add_argument("--json", action="store_true",
                            help="print the raw JSON stats")
     p_service.set_defaults(func=cmd_service)
+
+    p_slo = sub.add_parser(
+        "slo",
+        help="evaluate service-level objectives (live service or "
+             "recorded event log)",
+    )
+    p_slo.add_argument("action", choices=["check", "report"],
+                       help="check exits nonzero on violation; "
+                            "report always exits 0 unless input is bad")
+    p_slo.add_argument("--objectives", required=True,
+                       help="objectives file (JSON, repro.obs/slo/v1)")
+    p_slo.add_argument("--events",
+                       help="evaluate a recorded event log (a directory "
+                            "of segments or one .ndjson file) instead "
+                            "of a live service")
+    p_slo.add_argument("--window", type=float, default=600.0,
+                       help="window length for --events replay (s)")
+    p_slo.add_argument("--require-data", action="store_true",
+                       help="treat empty windows as violations "
+                            "(smoke tests)")
+    _add_endpoint(p_slo)
+    p_slo.add_argument("--json", action="store_true",
+                       help="print the machine-readable report")
+    p_slo.set_defaults(func=cmd_slo)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live dashboard of a running service's sliding windows",
+    )
+    _add_endpoint(p_top)
+    p_top.add_argument("--interval", type=float, default=2.0,
+                       help="seconds between repaints")
+    p_top.add_argument("--once", action="store_true",
+                       help="print one page and exit (CI-friendly)")
+    p_top.add_argument("--objectives",
+                       help="objectives file to show budget burn for")
+    p_top.set_defaults(func=cmd_top)
 
     p_fuzz = sub.add_parser(
         "fuzz",
@@ -881,6 +1080,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="number of processors for the pipeline")
     p_chaos.add_argument("--artifacts",
                          help="write violating fault plans here")
+    p_chaos.add_argument("--events",
+                         help="record per-case outcomes to an NDJSON "
+                              "event log in this directory")
     p_chaos.add_argument("--json", action="store_true",
                          help="print the machine-readable report")
     p_chaos.set_defaults(func=cmd_chaos)
