@@ -331,6 +331,68 @@ def render_prometheus(
             "Corrupt cache entries moved aside (self-healing)",
         ).add(cache.get("quarantined_total", 0))
 
+    # Admission control: queue, adaptive limiter, shed/brownout state.
+    admission = stats.get("admission") or {}
+    if admission:
+        limiter = admission.get("limiter") or {}
+        registry.family(
+            "admission_in_flight", "gauge",
+            "Requests currently admitted and executing",
+        ).add(admission.get("in_flight", 0))
+        registry.family(
+            "admission_queue_depth", "gauge",
+            "Requests waiting in the bounded admission queue",
+        ).add(admission.get("queue_depth", 0))
+        registry.family(
+            "admission_limit", "gauge",
+            "Current AIMD concurrency limit",
+        ).add(limiter.get("limit", 0))
+        registry.family(
+            "admission_usable_limit", "gauge",
+            "Concurrency limit minus live zombie workers",
+        ).add(limiter.get("usable", 0))
+        registry.family(
+            "admission_zombie_workers", "gauge",
+            "Timed-out worker threads still burning a core "
+            "(uncancellable futures)",
+        ).add(limiter.get("zombies", 0))
+        registry.family(
+            "admission_draining", "gauge",
+            "1 while the service refuses new work to drain",
+        ).add(1 if admission.get("draining") else 0)
+        registry.family(
+            "admission_brownout", "gauge",
+            "1 while admitted requests run with a clamped "
+            "(labeled-degraded) budget",
+        ).add(1 if admission.get("brownout") else 0)
+        shed = registry.family(
+            "admission_shed_total", "counter",
+            "Requests shed with a typed overloaded error, by reason",
+        )
+        counters = admission.get("counters") or {}
+        for reason, key in (
+            ("deadline", "shed_deadline"),
+            ("queue-full", "shed_queue_full"),
+            ("wait-timeout", "shed_wait_timeout"),
+        ):
+            shed.add(counters.get(key, 0), reason=reason)
+        registry.family(
+            "admission_rejected_draining_total", "counter",
+            "Requests refused with a typed shutting-down error",
+        ).add(counters.get("rejected_draining", 0))
+        registry.family(
+            "admission_brownout_admitted_total", "counter",
+            "Requests admitted under brownout (clamped budget)",
+        ).add(counters.get("brownout_admitted", 0))
+        changes = registry.family(
+            "admission_limit_changes_total", "counter",
+            "AIMD limit adjustments, by direction",
+        )
+        changes.add(limiter.get("increases_total", 0),
+                    direction="increase")
+        changes.add(limiter.get("decreases_total", 0),
+                    direction="decrease")
+
     return registry.render()
 
 

@@ -26,6 +26,11 @@ plans over the paper programs and asserts the pipeline invariant:
 a wrong answer, hang, or crash*.
 """
 
+from .admission import (
+    AdaptiveConcurrencyLimiter,
+    AdmissionController,
+    Ticket,
+)
 from .atomic import (
     atomic_write_bytes,
     atomic_write_json,
@@ -54,7 +59,9 @@ from .errors import (
     CorruptStateError,
     DeadlineExceeded,
     InjectedFault,
+    OverloadedError,
     ResilienceError,
+    ShuttingDownError,
 )
 from .faults import (
     KNOWN_SITES,
@@ -68,6 +75,8 @@ from .faults import (
 )
 
 __all__ = [
+    "AdaptiveConcurrencyLimiter",
+    "AdmissionController",
     "Backoff",
     "CircuitBreaker",
     "CircuitOpenError",
@@ -79,7 +88,10 @@ __all__ = [
     "FaultSpec",
     "InjectedFault",
     "KNOWN_SITES",
+    "OverloadedError",
     "ResilienceError",
+    "ShuttingDownError",
+    "Ticket",
     "arm",
     "armed",
     "atomic_write_bytes",

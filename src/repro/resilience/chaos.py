@@ -4,11 +4,15 @@ Each case arms a randomly generated (but seed-reproducible)
 :class:`~repro.resilience.faults.FaultPlan` and pushes one of the
 paper's four benchmark programs through a fresh
 :class:`~repro.service.server.LayoutService` — twice, so both the
-compute and the cache-load paths run under fire.  The campaign asserts
-the resilience invariant on every case:
+compute and the cache-load paths run under fire.  A seeded fraction of
+cases are **overload cases** instead: no injected faults, just a burst
+of concurrent arrivals against a deliberately tiny admission
+controller, so shedding and brownout run under the same invariant as
+fault injection.  The campaign asserts, on every case:
 
-    *correct result, labeled-degraded result, or clean typed error —
-    never a wrong answer, a hang, or an unhandled crash.*
+    *correct result, labeled-degraded result, clean typed error, or
+    typed overload rejection — never a wrong answer, a hang, or an
+    unhandled crash.*
 
 "Correct" is judged against a fault-free reference pass over the same
 request; "typed" means the response's ``error_kind`` names a known
@@ -53,8 +57,12 @@ PLAN_SITES = (
 TYPED_ERROR_KINDS = frozenset({
     "injected-fault", "deadline", "circuit-open", "corrupt-state",
     "resilience", "bad-request", "timeout", "worker-pool",
-    "request-too-large",
+    "request-too-large", "overloaded", "shutting-down",
 })
+
+#: the typed rejections admission control may answer with under load;
+#: an ``overloaded`` rejection must also carry ``retry_after_s``
+OVERLOAD_REJECTION_KINDS = frozenset({"overloaded", "shutting-down"})
 
 #: relative tolerance when comparing a faulted run's predicted cost
 #: against the fault-free reference
@@ -103,8 +111,11 @@ class CaseResult:
     seed: int
     program: str
     plan: FaultPlan
-    outcome: str  # "ok" | "degraded" | "typed-error" | "violation"
+    #: "ok" | "degraded" | "typed-error" | "overload-shed" | "violation"
+    outcome: str
     detail: str = ""
+    #: "faults" (seeded fault plan) or "overload" (burst arrivals)
+    mode: str = "faults"
     faults_fired: int = 0
     #: ``fault.injected`` telemetry events observed during the case —
     #: must cover ``faults_fired`` (a shortfall is a *silent fault*)
@@ -123,6 +134,7 @@ class CaseResult:
             "plan": self.plan.to_dict(),
             "outcome": self.outcome,
             "detail": self.detail,
+            "mode": self.mode,
             "faults_fired": self.faults_fired,
             "faults_observed": self.faults_observed,
             "seconds": round(self.seconds, 4),
@@ -153,6 +165,7 @@ class ChaosReport:
             "ok": self.count("ok"),
             "degraded": self.count("degraded"),
             "typed_errors": self.count("typed-error"),
+            "overload_shed": self.count("overload-shed"),
             "violations": [c.to_dict() for c in self.violations()],
         }
 
@@ -162,16 +175,19 @@ class ChaosReport:
             f"  correct results:   {self.count('ok')}",
             f"  labeled degraded:  {self.count('degraded')}",
             f"  clean typed errors:{self.count('typed-error'):4d}",
+            f"  overload cases shed cleanly: "
+            f"{self.count('overload-shed')}",
             f"  INVARIANT VIOLATIONS: {len(self.violations())}",
         ]
         for case in self.violations():
             lines.append(
                 f"    case {case.index} (seed {case.seed}, "
-                f"{case.program}): {case.detail}"
+                f"{case.program}, {case.mode}): {case.detail}"
             )
         lines.append(
             "invariant held: every case returned a correct result, a "
-            "labeled-degraded result, or a clean typed error"
+            "labeled-degraded result, a clean typed error, or a typed "
+            "overload rejection"
             if self.ok else
             "INVARIANT VIOLATED — see the fault-plan artifacts"
         )
@@ -364,6 +380,117 @@ def _procs(reference: Dict[str, Any]) -> int:
     return int(reference.get("_procs", 4))
 
 
+def run_overload_case(
+    index: int,
+    seed: int,
+    program: str,
+    reference: Dict[str, Any],
+    case_timeout_s: float = 60.0,
+) -> CaseResult:
+    """One burst-arrival overload case: no injected faults — instead a
+    seeded burst of concurrent requests hits a service whose admission
+    controller is deliberately tiny (limit 1–2, queue 1, 50ms max
+    wait), so shedding *must* happen.  Every reply must satisfy the
+    extended invariant: correct, labeled-degraded, clean typed error,
+    or a typed overload rejection (``overloaded`` rejections must
+    carry ``retry_after_s``)."""
+    from ..resilience.admission import (
+        AdaptiveConcurrencyLimiter,
+        AdmissionController,
+    )
+    from ..service.pool import WorkerPool
+    from ..service.server import LayoutService
+
+    rng = random.Random(f"chaos-overload:{seed}")
+    burst = rng.randint(8, 16)
+    # draw per-slot deadlines up front: the RNG is not shared across
+    # the burst threads, keeping the case seed-deterministic
+    deadlines = [rng.uniform(0.05, 0.5) for _ in range(burst)]
+    request = _request(program, procs=_procs(reference))
+    start = perf_counter()
+    responses: List[Optional[Dict[str, Any]]] = [None] * burst
+
+    admission = AdmissionController(
+        limiter=AdaptiveConcurrencyLimiter(
+            initial_limit=1, min_limit=1, max_limit=2,
+        ),
+        max_queue=1,
+        max_queue_wait_s=0.05,
+    )
+    with LayoutService(
+        pool=WorkerPool(kind="thread", max_workers=2),
+        use_cache=False,
+        admission=admission,
+    ) as service:
+
+        def fire(slot: int) -> None:
+            payload = dict(request)
+            payload["request_id"] = f"chaos-overload-{seed}-{slot}"
+            payload["deadline_s"] = deadlines[slot]
+            try:
+                responses[slot] = service.handle(payload)
+            except BaseException as exc:  # noqa: BLE001 - verdict
+                responses[slot] = {
+                    "ok": False, "error_kind": None,
+                    "error": f"crash: {type(exc).__name__}: {exc}",
+                }
+
+        threads = [
+            threading.Thread(target=fire, args=(slot,), daemon=True)
+            for slot in range(burst)
+        ]
+        deadline_at = perf_counter() + case_timeout_s
+        for thread in threads:
+            thread.start()
+        hung = False
+        for thread in threads:
+            thread.join(timeout=max(deadline_at - perf_counter(), 0.0))
+            hung = hung or thread.is_alive()
+
+    outcome, detail = "ok", ""
+    shed = 0
+    if hung:
+        outcome, detail = (
+            "violation",
+            f"hang: overload burst still running after {case_timeout_s}s",
+        )
+    else:
+        saw_degraded = False
+        for slot, response in enumerate(responses):
+            kind = (response or {}).get("error_kind")
+            if kind in OVERLOAD_REJECTION_KINDS:
+                shed += 1
+                if (kind == "overloaded"
+                        and response.get("retry_after_s") is None):
+                    outcome, detail = (
+                        "violation",
+                        "overloaded rejection without retry_after_s",
+                    )
+                    break
+                continue
+            verdict, why = _classify(response, reference)
+            if verdict == "violation":
+                outcome, detail = "violation", f"burst slot {slot}: {why}"
+                break
+            saw_degraded = saw_degraded or verdict == "degraded"
+        else:
+            if shed:
+                outcome = "overload-shed"
+                detail = f"{shed}/{burst} burst requests shed cleanly"
+            elif saw_degraded:
+                outcome, detail = "degraded", ""
+    return CaseResult(
+        index=index,
+        seed=seed,
+        program=program,
+        plan=FaultPlan(seed=seed, specs=[]),
+        outcome=outcome,
+        detail=detail,
+        mode="overload",
+        seconds=perf_counter() - start,
+    )
+
+
 def run_chaos(
     cases: int = 50,
     seed: int = 0,
@@ -374,13 +501,16 @@ def run_chaos(
     artifact_dir: Optional[str] = None,
     events_dir: Optional[str] = None,
     progress=None,
+    overload_fraction: float = 0.15,
 ) -> ChaosReport:
     """Run a campaign of up to ``cases`` seeded cases (stopping early
     when ``budget_s`` wall-clock seconds run out), cycling through
-    ``programs``.  Violating cases write their fault plans under
-    ``artifact_dir`` for verbatim replay; every case's verdict is also
-    written through the structured event log (durable under
-    ``events_dir``, in-memory otherwise)."""
+    ``programs``.  A seed-deterministic ``overload_fraction`` of cases
+    run as burst-arrival overload cases (:func:`run_overload_case`)
+    instead of fault-injection cases.  Violating cases write their
+    fault plans under ``artifact_dir`` for verbatim replay; every
+    case's verdict is also written through the structured event log
+    (durable under ``events_dir``, in-memory otherwise)."""
     report = ChaosReport(seed=seed)
     references: Dict[str, Dict[str, Any]] = {}
     start = perf_counter()
@@ -393,9 +523,17 @@ def run_chaos(
                 _reference_response(program, procs, references)
             )
             reference["_procs"] = procs
-            case = run_case(
+            case_seed = seed + index
+            mode_roll = random.Random(
+                f"chaos-mode:{case_seed}"
+            ).random()
+            run = (
+                run_overload_case if mode_roll < overload_fraction
+                else run_case
+            )
+            case = run(
                 index=index,
-                seed=seed + index,
+                seed=case_seed,
                 program=program,
                 reference=reference,
                 case_timeout_s=case_timeout_s,

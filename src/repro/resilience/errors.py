@@ -45,3 +45,26 @@ class CorruptStateError(ResilienceError):
     """A persisted artifact failed its checksum or structural check."""
 
     kind = "corrupt-state"
+
+
+class OverloadedError(ResilienceError):
+    """Admission control shed the request before any work started.
+
+    Carries ``retry_after_s`` — the controller's prediction of when
+    capacity frees up — which the wire protocol surfaces so well-behaved
+    clients (and :class:`repro.service.protocol.RetryPolicy`) back off
+    instead of hammering an overloaded server.
+    """
+
+    kind = "overloaded"
+
+    def __init__(self, message: str, retry_after_s: float = 0.0):
+        super().__init__(message)
+        self.retry_after_s = max(round(float(retry_after_s), 4), 0.0)
+
+
+class ShuttingDownError(ResilienceError):
+    """The service is draining: in-flight work finishes, new work is
+    refused with this typed rejection."""
+
+    kind = "shutting-down"

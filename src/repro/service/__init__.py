@@ -9,32 +9,46 @@ this package turns the one-shot CLI pipeline into a long-lived service:
 - :mod:`jobs`     — the pure-function job boundary workers execute;
 - :mod:`metrics`  — counters, cache stats, wall-time histograms, and
   per-op sliding windows;
-- :mod:`protocol` — JSON request/response schemas;
+- :mod:`protocol` — JSON request/response schemas plus client-side
+  retry budgets/backoff honoring ``retry_after_s``;
 - :mod:`telemetry`— the service's event log + tail-based trace sampler;
+- :mod:`loadtest` — the open-loop load generator behind
+  ``repro loadtest`` (fixed arrival schedule, so overload is measured
+  instead of hidden by a closed loop);
 - :mod:`errors`   — the error taxonomy surfaced to clients.
 """
 
 from .cache import StageCache, StageKeys
 from .errors import (
+    ConnectionIdleError,
     JobTimeoutError,
     RequestTimeoutError,
     RequestValidationError,
     ServiceError,
     WorkerPoolError,
 )
+from .loadtest import LoadtestConfig, LoadtestReport, run_loadtest
 from .metrics import Metrics
 from .pool import WorkerPool
-from .protocol import LayoutRequest, LayoutResponse, StageTiming
+from .protocol import (
+    LayoutRequest,
+    LayoutResponse,
+    RetryBudget,
+    RetryPolicy,
+    StageTiming,
+)
 from .server import (
     DEFAULT_HOST,
     DEFAULT_PORT,
     LayoutServer,
     LayoutService,
     send_request,
+    send_request_with_retries,
 )
 from .telemetry import ServiceTelemetry, TailSampler
 
 __all__ = [
+    "ConnectionIdleError",
     "DEFAULT_HOST",
     "DEFAULT_PORT",
     "JobTimeoutError",
@@ -42,9 +56,13 @@ __all__ = [
     "LayoutResponse",
     "LayoutServer",
     "LayoutService",
+    "LoadtestConfig",
+    "LoadtestReport",
     "Metrics",
     "RequestTimeoutError",
     "RequestValidationError",
+    "RetryBudget",
+    "RetryPolicy",
     "ServiceError",
     "ServiceTelemetry",
     "StageCache",
@@ -52,5 +70,7 @@ __all__ = [
     "StageTiming",
     "TailSampler",
     "WorkerPool",
+    "run_loadtest",
     "send_request",
+    "send_request_with_retries",
 ]

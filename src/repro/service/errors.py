@@ -33,6 +33,14 @@ class JobTimeoutError(ServiceError):
     kind = "timeout"
 
 
+class ConnectionIdleError(ServiceError):
+    """A connection sat idle (or wrote too slowly) past the socket
+    timeout; the server replies with this and closes, so a slowloris
+    client cannot pin a handler thread forever."""
+
+    kind = "timeout"
+
+
 class WorkerPoolError(ServiceError):
     """A job kept failing for pool-level (transient) reasons even after
     bounded retries and a serial fallback attempt."""

@@ -14,27 +14,39 @@ over TCP).  Every request carries an ``op``:
 - ``events``   — tail of the structured event log (``limit``,
   optional ``type`` filter);
 - ``ping``     — liveness probe;
-- ``shutdown`` — stop the server.
+- ``health``   — liveness plus overload state: admission queue depth,
+  adaptive concurrency limit, zombie workers, drain status;
+- ``ready``    — readiness probe: ``ready: false`` once the service is
+  draining (load balancers stop routing here) or saturated;
+- ``shutdown`` — graceful drain, then stop the server (optional
+  ``drain_deadline_s`` bounds the drain).
 
 ``LayoutRequest.from_dict`` is the single validation choke point: every
 field is checked there so the server core only ever sees well-formed
 requests, and the CLI client gets the same errors locally.
+
+Client-side overload hygiene lives here too: :class:`RetryBudget`
+(a token bucket bounding retry amplification) and :class:`RetryPolicy`
+(jittered exponential backoff that honors a server-supplied
+``retry_after_s`` and only retries typed ``overloaded`` rejections).
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional
 
 from ..distribution.layouts import DataLayout
 from ..machine.params import MACHINES
 from ..programs.registry import PROGRAMS
+from ..resilience.breaker import Backoff
 from ..tool.assistant import AssistantConfig, AssistantResult
 from .errors import RequestValidationError
 
 #: ops a server understands
 OPS = ("analyze", "stats", "metrics", "slo", "events", "ping",
-       "shutdown")
+       "health", "ready", "shutdown")
 
 #: fields accepted in an analyze request
 _ANALYZE_FIELDS = {
@@ -216,6 +228,9 @@ class LayoutResponse:
     degradations: List[Dict[str, Any]] = field(default_factory=list)
     #: the request's serialized span trace, when asked for
     trace: Optional[Dict[str, Any]] = None
+    #: on a typed ``overloaded`` rejection: the server's prediction of
+    #: when capacity frees up; clients floor their backoff at this
+    retry_after_s: Optional[float] = None
 
     @classmethod
     def from_result(
@@ -248,7 +263,8 @@ class LayoutResponse:
         kind = getattr(error, "kind", "internal")
         return cls(ok=False, request_id=request_id,
                    error=f"{type(error).__name__}: {error}",
-                   error_kind=kind)
+                   error_kind=kind,
+                   retry_after_s=getattr(error, "retry_after_s", None))
 
     def to_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {"ok": self.ok}
@@ -257,6 +273,8 @@ class LayoutResponse:
         if not self.ok:
             out["error"] = self.error
             out["error_kind"] = self.error_kind
+            if self.retry_after_s is not None:
+                out["retry_after_s"] = self.retry_after_s
             return out
         out.update({
             "predicted_total_us": self.predicted_total_us,
@@ -294,4 +312,113 @@ class LayoutResponse:
             degraded=bool(data.get("degraded", False)),
             degradations=list(data.get("degradations", [])),
             trace=data.get("trace"),
+            retry_after_s=data.get("retry_after_s"),
         )
+
+
+# -- client-side overload hygiene -----------------------------------------
+
+#: error kinds a client may safely retry: the request never started, so
+#: retrying cannot duplicate work or mask a real failure
+RETRYABLE_KINDS = frozenset({"overloaded"})
+
+
+class RetryBudget:
+    """Token bucket bounding retry amplification.
+
+    Every first-attempt request deposits ``ratio`` tokens; every retry
+    spends one.  Sustained overload therefore sees at most ``ratio``
+    retries per request fleet-wide — retries cannot multiply the load
+    that caused the shedding (the classic retry-storm failure mode).
+    """
+
+    def __init__(self, ratio: float = 0.1, min_tokens: float = 3.0,
+                 max_tokens: float = 30.0):
+        if not 0.0 <= ratio <= 1.0:
+            raise ValueError(f"ratio must be in [0, 1], got {ratio}")
+        if min_tokens < 0 or max_tokens < min_tokens:
+            raise ValueError(
+                "need 0 <= min_tokens <= max_tokens, got "
+                f"{min_tokens}/{max_tokens}"
+            )
+        self.ratio = float(ratio)
+        self.max_tokens = float(max_tokens)
+        self._lock = threading.Lock()
+        self._tokens = float(min_tokens)
+        self.spent_total = 0
+        self.denied_total = 0
+
+    def note_request(self) -> None:
+        """A first attempt went out: deposit its retry allowance."""
+        with self._lock:
+            self._tokens = min(self._tokens + self.ratio, self.max_tokens)
+
+    def try_spend(self) -> bool:
+        """Take one retry token; ``False`` means the budget is spent
+        and the caller must surface the error instead of retrying."""
+        with self._lock:
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                self.spent_total += 1
+                return True
+            self.denied_total += 1
+            return False
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            return self._tokens
+
+    def describe(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "tokens": round(self._tokens, 3),
+                "ratio": self.ratio,
+                "spent_total": self.spent_total,
+                "denied_total": self.denied_total,
+            }
+
+
+class RetryPolicy:
+    """When and how long to back off before retrying a shed request.
+
+    Delays come from the resilience layer's jittered exponential
+    :class:`~repro.resilience.breaker.Backoff`, floored at the server's
+    ``retry_after_s`` hint — a polite client never comes back sooner
+    than the server predicted capacity."""
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        backoff: Optional[Backoff] = None,
+        budget: Optional[RetryBudget] = None,
+        retryable_kinds: frozenset = RETRYABLE_KINDS,
+    ):
+        if max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {max_attempts}"
+            )
+        self.max_attempts = int(max_attempts)
+        self.backoff = backoff or Backoff(
+            base_s=0.1, factor=2.0, max_s=5.0, jitter=0.5
+        )
+        self.budget = budget or RetryBudget()
+        self.retryable_kinds = frozenset(retryable_kinds)
+
+    def should_retry(self, attempt: int, error_kind: Optional[str]) -> bool:
+        """May attempt ``attempt`` (0-based) be followed by another?
+        Checks kind, attempt count, and spends a budget token."""
+        if error_kind not in self.retryable_kinds:
+            return False
+        if attempt + 1 >= self.max_attempts:
+            return False
+        return self.budget.try_spend()
+
+    def delay_s(self, attempt: int,
+                retry_after_s: Optional[float] = None) -> float:
+        """Backoff before retry number ``attempt + 1``; the server's
+        hint is a hard floor that jitter cannot undercut."""
+        delay = self.backoff.delay(attempt)
+        if retry_after_s is not None:
+            delay = max(delay, float(retry_after_s))
+        return delay

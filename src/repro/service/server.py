@@ -10,6 +10,16 @@ Two layers:
   newline-delimited JSON protocol of :mod:`repro.service.protocol`.
   Independent requests fan out across connection threads while sharing
   one stage cache, one metrics registry, and one worker pool.
+
+Overload protection sits between the two: every ``analyze`` passes the
+:class:`~repro.resilience.admission.AdmissionController` before any
+work starts.  Requests the controller cannot serve in time are shed
+with a typed ``overloaded`` error (plus ``retry_after_s``) instead of
+queueing into latency collapse; requests admitted under brownout get a
+clamped solver budget so the existing anytime/greedy fallbacks return
+fast labeled-degraded answers; a draining service refuses new work
+with a typed ``shutting-down`` rejection while in-flight requests
+finish under the drain deadline.
 """
 
 from __future__ import annotations
@@ -18,20 +28,28 @@ import json
 import socket
 import socketserver
 import threading
+import time
 from concurrent.futures import (
+    Future,
     ThreadPoolExecutor,
     TimeoutError as FuturesTimeoutError,
 )
 from time import perf_counter
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..obs import tracing
 from ..obs.log import get_logger
 from ..obs.prometheus import render_prometheus
 from ..obs.slo import Objective, SLOValidationError, evaluate_objectives
+from ..obs.telemetry import emit as emit_event
+from ..resilience.admission import AdmissionController
 from ..resilience.deadline import Deadline, deadline_scope
 from ..resilience.degrade import collecting, noted_count
-from ..resilience.errors import InjectedFault
+from ..resilience.errors import (
+    InjectedFault,
+    OverloadedError,
+    ShuttingDownError,
+)
 from ..resilience.faults import fault_point
 from ..tool.assistant import (
     AssistantResult,
@@ -43,10 +61,16 @@ from ..tool.assistant import (
     stage_selection,
 )
 from .cache import StageCache, StageKeys
-from .errors import RequestTimeoutError, ServiceError
+from .errors import ConnectionIdleError, RequestTimeoutError, ServiceError
 from .metrics import Metrics
 from .pool import WorkerPool
-from .protocol import OPS, LayoutRequest, LayoutResponse, StageTiming
+from .protocol import (
+    OPS,
+    LayoutRequest,
+    LayoutResponse,
+    RetryPolicy,
+    StageTiming,
+)
 from .telemetry import ServiceTelemetry
 
 DEFAULT_HOST = "127.0.0.1"
@@ -59,6 +83,22 @@ MAX_REQUEST_BYTES = 1 << 20
 #: fraction of the hard request timeout handed to the solvers as a soft
 #: deadline, leaving headroom to assemble a degraded-but-valid response
 SOFT_DEADLINE_FRACTION = 0.8
+
+#: solver budget (seconds) for requests admitted under brownout: short
+#: enough that the anytime ILPs fall back to the labeled greedy paths,
+#: long enough to produce a valid layout
+DEFAULT_BROWNOUT_BUDGET_S = 0.25
+
+#: floor on the post-queue-wait solver budget, so a request admitted
+#: at the edge of its deadline still assembles a degraded response
+MIN_EFFECTIVE_BUDGET_S = 0.05
+
+#: default bound on one graceful drain
+DEFAULT_DRAIN_DEADLINE_S = 10.0
+
+#: per-connection socket timeout: an idle or slow-writing client gets
+#: a typed timeout reply and its connection closed (slowloris guard)
+DEFAULT_CONN_TIMEOUT_S = 300.0
 
 logger = get_logger("repro.service")
 
@@ -75,12 +115,24 @@ class LayoutService:
         use_cache: bool = True,
         telemetry: Optional[ServiceTelemetry] = None,
         objectives: Optional[List[Objective]] = None,
+        admission: Optional[AdmissionController] = None,
+        brownout_budget_s: float = DEFAULT_BROWNOUT_BUDGET_S,
     ):
         self.cache = StageCache(cache_dir)
         self.pool = pool if pool is not None else WorkerPool()
         self.metrics = metrics or Metrics()
         self.request_timeout = request_timeout
         self.use_cache = use_cache
+        # Admission control defaults on, wired to the dependency
+        # breakers: a tripped pool or cache breaker flips admitted
+        # requests into brownout before shedding starts.
+        self.admission = (
+            admission if admission is not None
+            else AdmissionController(
+                breakers=[self.pool.breaker, self.cache.breaker]
+            )
+        )
+        self.brownout_budget_s = float(brownout_budget_s)
         # The telemetry plane is always on: with no events_dir the log
         # is a bounded in-memory ring, so embedded use costs nothing on
         # disk.  Installing makes this service the process-wide sink
@@ -185,18 +237,35 @@ class LayoutService:
 
     # -- request handling ------------------------------------------------
 
-    def _request_deadline(
+    def _request_budget(
         self, request: LayoutRequest
-    ) -> Optional[Deadline]:
+    ) -> Optional[float]:
         """The solver time budget for one request: the explicit
         ``deadline_s`` if given, else a soft fraction of the hard
         request timeout (leaving headroom to build the degraded
         response before the hard cutoff kills the thread)."""
         if request.deadline_s is not None:
-            return Deadline(request.deadline_s)
+            return request.deadline_s
         if self.request_timeout is not None:
-            return Deadline(self.request_timeout * SOFT_DEADLINE_FRACTION)
+            return self.request_timeout * SOFT_DEADLINE_FRACTION
         return None
+
+    def _note_zombie(self, future: "Future") -> None:
+        """A timed-out pipeline thread cannot be cancelled once running
+        (the per-request executor's future is already executing): count
+        it as a zombie so the limiter's usable concurrency shrinks, and
+        reclaim the slot whenever the abandoned work finally finishes."""
+        zombies = self.admission.note_zombie()
+        self.metrics.inc("zombie_workers_total")
+        self.metrics.set_gauge("zombie_workers", zombies)
+
+        def _reclaim(_future: "Future") -> None:
+            remaining = self.admission.zombie_done()
+            self.metrics.set_gauge("zombie_workers", remaining)
+
+        # if the future never started (cancelled in shutdown), or
+        # already finished, the callback fires immediately — no zombie
+        future.add_done_callback(_reclaim)
 
     def analyze(self, request: LayoutRequest) -> LayoutResponse:
         """Serve one analyze request (deadline-bounded, never raises).
@@ -214,7 +283,48 @@ class LayoutService:
         # production tracer records structure and summary attrs so its
         # overhead stays inside the tail-sampling budget.
         tracer = tracing.Tracer(name="request", detail=request.trace)
-        deadline = self._request_deadline(request)
+        budget_s = self._request_budget(request)
+
+        # Admission first: a request the controller predicts cannot be
+        # served within its own budget is shed before any work starts.
+        try:
+            ticket = self.admission.try_acquire(budget_s)
+        except (OverloadedError, ShuttingDownError) as exc:
+            self.metrics.inc("requests_failed")
+            self.metrics.inc("requests_shed")
+            logger.warning(
+                "request %s shed: %s",
+                request.request_id or "<anonymous>", exc,
+            )
+            self._record_analyze(
+                request, tracer, perf_counter() - start,
+                ok=False, error_kind=exc.kind,
+            )
+            return LayoutResponse.failure(
+                exc, request_id=request.request_id
+            )
+
+        # Whatever the request queued for came out of its own budget;
+        # under brownout the budget is clamped so the anytime solvers
+        # take their labeled greedy fallbacks instead of queue-building.
+        effective_budget = budget_s
+        if effective_budget is not None:
+            # the floor only guards against queue wait eating the whole
+            # budget; it must never *raise* an explicitly tiny deadline
+            effective_budget = max(
+                effective_budget - ticket.waited_s,
+                min(effective_budget, MIN_EFFECTIVE_BUDGET_S),
+            )
+        if ticket.brownout:
+            self.metrics.inc("requests_brownout")
+            effective_budget = (
+                self.brownout_budget_s if effective_budget is None
+                else min(effective_budget, self.brownout_budget_s)
+            )
+        deadline = (
+            Deadline(effective_budget)
+            if effective_budget is not None else None
+        )
 
         def pipeline() -> Tuple[
             AssistantResult, List[StageTiming], List[Dict[str, Any]]
@@ -229,53 +339,70 @@ class LayoutService:
                         result, timings = self._run_pipeline(request)
                     return result, timings, [e.to_dict() for e in events]
 
+        served_ok = False
+        timed_out = False
         try:
             try:
-                if self.request_timeout is not None:
-                    executor = ThreadPoolExecutor(max_workers=1)
-                    try:
-                        future = executor.submit(pipeline)
-                        result, timings, degradations = future.result(
-                            timeout=self.request_timeout
-                        )
-                    finally:
-                        executor.shutdown(wait=False, cancel_futures=True)
-                else:
-                    result, timings, degradations = pipeline()
-            except FuturesTimeoutError:
-                self.metrics.inc("requests_failed")
-                self.metrics.inc("requests_timeout")
-                logger.warning(
-                    "request %s timed out after %ss",
-                    request.request_id or "<anonymous>",
-                    self.request_timeout,
-                )
-                self._record_analyze(
-                    request, tracer, perf_counter() - start,
-                    ok=False, error_kind="timeout",
-                )
-                return LayoutResponse.failure(
-                    RequestTimeoutError(
-                        f"request exceeded {self.request_timeout}s"
-                    ),
-                    request_id=request.request_id,
-                )
-            except Exception as exc:
-                self.metrics.inc("requests_failed")
-                logger.warning(
-                    "request %s failed: %s",
-                    request.request_id or "<anonymous>", exc,
-                )
-                self._record_analyze(
-                    request, tracer, perf_counter() - start,
-                    ok=False,
-                    error_kind=getattr(exc, "kind", "internal"),
-                )
-                return LayoutResponse.failure(
-                    exc, request_id=request.request_id
-                )
+                try:
+                    if self.request_timeout is not None:
+                        executor = ThreadPoolExecutor(max_workers=1)
+                        try:
+                            future = executor.submit(pipeline)
+                            result, timings, degradations = future.result(
+                                timeout=self.request_timeout
+                            )
+                        finally:
+                            executor.shutdown(
+                                wait=False, cancel_futures=True
+                            )
+                    else:
+                        result, timings, degradations = pipeline()
+                except FuturesTimeoutError:
+                    timed_out = True
+                    self._note_zombie(future)
+                    self.metrics.inc("requests_failed")
+                    self.metrics.inc("requests_timeout")
+                    logger.warning(
+                        "request %s timed out after %ss",
+                        request.request_id or "<anonymous>",
+                        self.request_timeout,
+                    )
+                    self._record_analyze(
+                        request, tracer, perf_counter() - start,
+                        ok=False, error_kind="timeout",
+                    )
+                    return LayoutResponse.failure(
+                        RequestTimeoutError(
+                            f"request exceeded {self.request_timeout}s"
+                        ),
+                        request_id=request.request_id,
+                    )
+                except Exception as exc:
+                    self.metrics.inc("requests_failed")
+                    logger.warning(
+                        "request %s failed: %s",
+                        request.request_id or "<anonymous>", exc,
+                    )
+                    self._record_analyze(
+                        request, tracer, perf_counter() - start,
+                        ok=False,
+                        error_kind=getattr(exc, "kind", "internal"),
+                    )
+                    return LayoutResponse.failure(
+                        exc, request_id=request.request_id
+                    )
+            finally:
+                self._fold_trace(tracer)
+            served_ok = True
         finally:
-            self._fold_trace(tracer)
+            # service time (excluding queue wait) feeds the limiter's
+            # AIMD loop and the controller's wait predictions
+            self.admission.release(
+                ticket,
+                max(perf_counter() - start - ticket.waited_s, 0.0),
+                ok=served_ok,
+                timed_out=timed_out,
+            )
         self.metrics.inc("requests_ok")
         if degradations:
             self.metrics.inc("requests_degraded")
@@ -366,7 +493,25 @@ class LayoutService:
         self.metrics.set_gauge(
             "cache_quarantined_total", cache_state["quarantined_total"]
         )
+        admission = self.admission.describe()
+        limiter = admission["limiter"]
+        self.metrics.set_gauge("admission_in_flight",
+                               admission["in_flight"])
+        self.metrics.set_gauge("admission_queue_depth",
+                               admission["queue_depth"])
+        self.metrics.set_gauge("admission_shed_total",
+                               admission["shed_total"])
+        self.metrics.set_gauge("admission_limit", limiter["limit"])
+        self.metrics.set_gauge("admission_usable", limiter["usable"])
+        self.metrics.set_gauge("zombie_workers", limiter["zombies"])
+        self.metrics.set_gauge(
+            "admission_draining", 1 if admission["draining"] else 0
+        )
+        self.metrics.set_gauge(
+            "admission_brownout", 1 if admission["brownout"] else 0
+        )
         snapshot = self.metrics.snapshot()
+        snapshot["admission"] = admission
         snapshot["telemetry"] = self.telemetry.describe()
         snapshot["pool"] = pool
         snapshot["cache"]["disk_entries"] = self.cache.entry_count()
@@ -473,25 +618,107 @@ class LayoutService:
             )
             return {"ok": True, "op": "events", "events": events,
                     "telemetry": self.telemetry.describe()}
+        if op == "health":
+            admission = self.admission.describe()
+            return {
+                "ok": True, "op": "health",
+                "status": "draining" if admission["draining"] else "ok",
+                "admission": admission,
+            }
+        if op == "ready":
+            admission = self.admission.describe()
+            ready = (
+                not admission["draining"]
+                and admission["queue_depth"] < self.admission.max_queue
+            )
+            return {
+                "ok": True, "op": "ready", "ready": ready,
+                "draining": admission["draining"],
+                "queue_depth": admission["queue_depth"],
+                "in_flight": admission["in_flight"],
+                "limit": admission["limiter"]["limit"],
+            }
         if op == "shutdown":
             logger.info("shutdown requested over the protocol")
-            return {"ok": True, "op": "shutdown"}
+            # flip into drain immediately so the reply already reflects
+            # it; the TCP layer runs the bounded drain + stop afterward
+            self.begin_drain()
+            admission = self.admission.describe()
+            return {
+                "ok": True, "op": "shutdown", "draining": True,
+                "in_flight": admission["in_flight"],
+                "queue_depth": admission["queue_depth"],
+            }
         self.metrics.inc("requests_failed")
         logger.warning("rejecting unknown op %r", op)
         return {"ok": False, "error": f"unknown op {op!r}",
                 "error_kind": "bad-request"}
+
+    # -- graceful drain ----------------------------------------------------
+
+    def begin_drain(self) -> None:
+        """Stop admitting new analyze work (typed ``shutting-down``
+        rejections); in-flight requests keep running."""
+        self.admission.begin_drain()
+
+    def drain(
+        self, deadline_s: float = DEFAULT_DRAIN_DEADLINE_S
+    ) -> Dict[str, Any]:
+        """Begin (or continue) draining and wait — bounded by
+        ``deadline_s`` — for in-flight work to finish.  The drain
+        outcome is recorded in the telemetry event log (every event
+        line is flushed/fsync'd as written, so the record is durable
+        before this returns)."""
+        start = perf_counter()
+        self.begin_drain()
+        drained = self.admission.wait_idle(deadline_s)
+        admission = self.admission.describe()
+        report = {
+            "drained": drained,
+            "waited_s": round(perf_counter() - start, 4),
+            "deadline_s": deadline_s,
+            "in_flight": admission["in_flight"],
+            "rejected_draining":
+                admission["counters"]["rejected_draining"],
+        }
+        if not drained:
+            logger.warning(
+                "drain deadline %ss expired with %d request(s) in flight",
+                deadline_s, report["in_flight"],
+            )
+        emit_event("service.drain", phase="end", **report)
+        return report
 
 
 class _RequestHandler(socketserver.StreamRequestHandler):
     """One JSON object per line in, one per line out; connections may
     carry any number of requests."""
 
+    def setup(self) -> None:
+        # StreamRequestHandler applies self.timeout as the socket
+        # timeout; without it an idle or byte-at-a-time client pins
+        # this handler thread forever (slowloris)
+        self.timeout = getattr(self.server, "conn_timeout_s", None)
+        super().setup()
+
     def handle(self) -> None:  # pragma: no cover - exercised via TCP tests
         while True:
             # Bounded read: a line longer than MAX_REQUEST_BYTES gets a
             # typed refusal and the connection closes (the remainder of
             # the oversized line cannot be resynchronized).
-            raw = self.rfile.readline(MAX_REQUEST_BYTES + 1)
+            try:
+                raw = self.rfile.readline(MAX_REQUEST_BYTES + 1)
+            except socket.timeout:
+                exc = ConnectionIdleError(
+                    "connection idle longer than "
+                    f"{self.timeout}s; closing"
+                )
+                try:
+                    self._reply({"ok": False, "error": str(exc),
+                                 "error_kind": exc.kind})
+                except (OSError, InjectedFault):
+                    pass
+                return
             if not raw:
                 return
             if len(raw) > MAX_REQUEST_BYTES:
@@ -538,8 +765,17 @@ class _RequestHandler(socketserver.StreamRequestHandler):
                     pass
                 return
             if payload.get("op") == "shutdown":
+                try:
+                    drain_deadline = float(
+                        payload.get("drain_deadline_s",
+                                    DEFAULT_DRAIN_DEADLINE_S)
+                    )
+                except (TypeError, ValueError):
+                    drain_deadline = DEFAULT_DRAIN_DEADLINE_S
                 threading.Thread(
-                    target=self.server.shutdown, daemon=True
+                    target=self.server.graceful_shutdown,
+                    args=(drain_deadline,),
+                    daemon=True,
                 ).start()
                 return
 
@@ -555,9 +791,15 @@ class LayoutServer(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     daemon_threads = True
 
-    def __init__(self, address: Tuple[str, int], service: LayoutService):
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        service: LayoutService,
+        conn_timeout_s: Optional[float] = DEFAULT_CONN_TIMEOUT_S,
+    ):
         super().__init__(address, _RequestHandler)
         self.service = service
+        self.conn_timeout_s = conn_timeout_s
 
     @property
     def port(self) -> int:
@@ -568,6 +810,20 @@ class LayoutServer(socketserver.ThreadingTCPServer):
         thread = threading.Thread(target=self.serve_forever, daemon=True)
         thread.start()
         return thread
+
+    def graceful_shutdown(
+        self, drain_deadline_s: float = DEFAULT_DRAIN_DEADLINE_S
+    ) -> Dict[str, Any]:
+        """Drain, then stop the accept loop.
+
+        The accept loop keeps running *during* the drain on purpose:
+        new analyze requests must receive typed ``shutting-down``
+        replies, not connection resets.  Only once in-flight work has
+        finished (or the drain deadline expired) does the listener
+        stop."""
+        report = self.service.drain(drain_deadline_s)
+        self.shutdown()
+        return report
 
 
 def send_request(
@@ -584,3 +840,32 @@ def send_request(
     if not line:
         raise ServiceError("server closed the connection without a reply")
     return json.loads(line)
+
+
+def send_request_with_retries(
+    payload: Dict[str, Any],
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    timeout: float = 300.0,
+    policy: Optional[RetryPolicy] = None,
+    send: Optional[Callable[..., Dict[str, Any]]] = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> Dict[str, Any]:
+    """Client side with overload hygiene: retries only typed
+    ``overloaded`` rejections, under the policy's retry budget, backing
+    off no sooner than the server's ``retry_after_s`` hint.  Everything
+    else — including ``shutting-down`` — is returned as-is; ``send``
+    and ``sleep`` are injectable for tests."""
+    policy = policy or RetryPolicy()
+    send_fn = send or send_request
+    policy.budget.note_request()
+    attempt = 0
+    while True:
+        response = send_fn(payload, host=host, port=port, timeout=timeout)
+        if response.get("ok"):
+            return response
+        kind = response.get("error_kind")
+        if not policy.should_retry(attempt, kind):
+            return response
+        sleep(policy.delay_s(attempt, response.get("retry_after_s")))
+        attempt += 1

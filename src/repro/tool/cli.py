@@ -245,7 +245,14 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
     from ..obs.slo import SLOValidationError, load_objectives
+    from ..resilience.admission import (
+        AdaptiveConcurrencyLimiter,
+        AdmissionController,
+    )
     from ..resilience.breaker import Backoff
     from ..service import (
         LayoutServer,
@@ -269,25 +276,63 @@ def cmd_serve(args: argparse.Namespace) -> int:
             sample_every=args.trace_sample_every,
         ),
     )
+    pool = WorkerPool(kind=args.pool, max_workers=args.workers,
+                      job_timeout=args.job_timeout,
+                      retries=args.retries,
+                      backoff=Backoff(base_s=args.retry_backoff))
+    max_limit = args.admission_max_concurrency
+    initial = args.admission_initial_concurrency
+    initial = min(initial if initial is not None else 8, max_limit)
+    try:
+        admission = AdmissionController(
+            limiter=AdaptiveConcurrencyLimiter(
+                initial_limit=initial, max_limit=max_limit,
+            ),
+            max_queue=args.admission_max_queue,
+            max_queue_wait_s=args.admission_queue_wait,
+            breakers=[pool.breaker],
+        )
+    except ValueError as exc:
+        logger.error("bad admission settings: %s", exc)
+        return 2
     service = LayoutService(
         cache_dir=args.cache_dir,
-        pool=WorkerPool(kind=args.pool, max_workers=args.workers,
-                        job_timeout=args.job_timeout,
-                        retries=args.retries,
-                        backoff=Backoff(base_s=args.retry_backoff)),
+        pool=pool,
         request_timeout=args.request_timeout,
         use_cache=not args.no_cache,
         telemetry=telemetry,
         objectives=objectives,
+        admission=admission,
+        brownout_budget_s=args.brownout_budget,
     )
-    server = LayoutServer((args.host, args.port), service)
+    # the cache (and its breaker) only exist once the service does
+    admission.breakers.append(service.cache.breaker)
+    server = LayoutServer((args.host, args.port), service,
+                          conn_timeout_s=args.conn_timeout)
+
+    def _drain_and_stop(signum, frame):  # pragma: no cover - signal path
+        logger.info(
+            "SIGTERM: draining (deadline %ss) before shutdown",
+            args.drain_deadline,
+        )
+        threading.Thread(
+            target=server.graceful_shutdown,
+            args=(args.drain_deadline,),
+            daemon=True,
+        ).start()
+
+    try:
+        signal.signal(signal.SIGTERM, _drain_and_stop)
+    except ValueError:  # not the main thread (embedded use)
+        pass
     logger.info(
         "layout service listening on %s:%s (pool: %s, cache: %s, "
-        "events: %s, objectives: %d)",
+        "events: %s, objectives: %d, concurrency: %d..%d, queue: %d)",
         args.host, server.port, service.pool.active_kind,
         args.cache_dir or "memory-only",
         args.telemetry_dir or "memory-only",
         len(objectives or []),
+        initial, max_limit, args.admission_max_queue,
     )
     try:
         server.serve_forever()
@@ -325,8 +370,17 @@ def cmd_request(args: argparse.Namespace) -> int:
     if args.deadline is not None:
         payload["deadline_s"] = args.deadline
     try:
-        resp = send_request(payload, host=args.host, port=args.port,
-                            timeout=args.timeout)
+        if args.retries:
+            from ..service import RetryPolicy, send_request_with_retries
+
+            resp = send_request_with_retries(
+                payload, host=args.host, port=args.port,
+                timeout=args.timeout,
+                policy=RetryPolicy(max_attempts=args.retries + 1),
+            )
+        else:
+            resp = send_request(payload, host=args.host, port=args.port,
+                                timeout=args.timeout)
     except OSError as exc:
         logger.error(
             "cannot reach layout service at %s:%s (%s); "
@@ -347,8 +401,11 @@ def cmd_service(args: argparse.Namespace) -> int:
     from ..service import send_request
     from .report import format_service_stats
 
+    payload = {"op": args.action}
+    if args.action == "shutdown" and args.drain_deadline is not None:
+        payload["drain_deadline_s"] = args.drain_deadline
     try:
-        resp = send_request({"op": args.action}, host=args.host,
+        resp = send_request(payload, host=args.host,
                             port=args.port, timeout=args.timeout)
     except OSError as exc:
         logger.error(
@@ -370,6 +427,8 @@ def cmd_service(args: argparse.Namespace) -> int:
         print(resp["text"], end="")
     else:
         print(json.dumps(resp))
+    if args.action == "ready" and not resp.get("ready"):
+        return 3  # distinguishable "up but not ready" for orchestrators
     return 0
 
 
@@ -607,6 +666,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         artifact_dir=args.artifacts,
         progress=progress,
         events_dir=args.events,
+        overload_fraction=args.overload_fraction,
     )
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
@@ -615,6 +675,119 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     if not report.ok and args.artifacts:
         print(f"fault-plan artifacts written to {args.artifacts}")
     return 0 if report.ok else 1
+
+
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    """Open-loop load generation against a running service; gates like
+    ``repro bench gate`` (see ``repro.service.loadtest``)."""
+    import json
+
+    from ..service.loadtest import (
+        LoadtestConfig,
+        LoadtestReport,
+        run_loadtest,
+    )
+
+    profile_data = {}
+    if args.profile:
+        try:
+            with open(args.profile, "r", encoding="utf-8") as handle:
+                profile_data = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            logger.error("bad loadtest profile %r: %s", args.profile, exc)
+            return 2
+
+    request = dict(profile_data.get("request", {}))
+    if args.program:
+        request["program"] = args.program
+    if args.size is not None:
+        request["size"] = args.size
+    if args.procs is not None:
+        request["procs"] = args.procs
+    if args.deadline is not None:
+        request["deadline_s"] = args.deadline
+    if args.no_cache:
+        request["use_cache"] = False
+    request.setdefault("program", "adi")
+    request.setdefault("procs", 4)
+
+    try:
+        config = LoadtestConfig.from_profile(
+            profile_data,
+            rate=args.rate,
+            duration_s=args.duration,
+            timeout_s=args.request_timeout,
+            workers=args.workers,
+            request=request,
+        )
+    except ValueError as exc:
+        logger.error("bad loadtest configuration: %s", exc)
+        return 2
+
+    baseline = None
+    if args.baseline:
+        try:
+            with open(args.baseline, "r", encoding="utf-8") as handle:
+                baseline = LoadtestReport.from_dict(json.load(handle))
+        except (OSError, ValueError, KeyError,
+                json.JSONDecodeError) as exc:
+            logger.error("bad baseline report %r: %s", args.baseline, exc)
+            return 2
+
+    p99_budget = args.p99_budget
+    if args.slo:
+        from ..obs.slo import SLOValidationError, load_objectives
+
+        try:
+            objectives = load_objectives(args.slo)
+        except SLOValidationError as exc:
+            logger.error("bad objectives file: %s", exc)
+            return 2
+        for objective in objectives:
+            if (objective.op == "analyze" and objective.metric == "p99"
+                    and objective.threshold_s is not None):
+                p99_budget = objective.threshold_s
+                break
+        else:
+            logger.error(
+                "no analyze p99 objective in %r to gate on", args.slo
+            )
+            return 2
+
+    try:
+        report = run_loadtest(
+            config, host=args.host, port=args.port,
+            progress=lambda msg: logger.info("loadtest: %s", msg),
+        )
+    except RuntimeError as exc:
+        logger.error("%s", exc)
+        return 2
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        logger.info("loadtest report written to %s", args.out)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+
+    problems = report.gate(
+        p99_budget_s=p99_budget,
+        baseline=baseline,
+        min_goodput_ratio=args.min_goodput_ratio,
+        require_shed=args.require_shed,
+    )
+    if args.gate or args.require_shed or baseline is not None \
+            or p99_budget is not None:
+        for problem in problems:
+            logger.error("loadtest gate: %s", problem)
+        return 1 if problems else 0
+    # even ungated, invariant violations (wrong/untyped/no-reply) fail
+    for violation in report.violations:
+        logger.error("loadtest: %s", violation)
+    return 1 if report.violations else 0
 
 
 def _bench_trace_scope(args: argparse.Namespace):
@@ -959,6 +1132,35 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_serve.add_argument("--trace-sample-every", type=int, default=20,
                          help="also keep every K-th healthy trace "
                               "(deterministic on trace id)")
+    p_serve.add_argument("--admission-max-concurrency", type=int,
+                         default=64,
+                         help="ceiling of the adaptive concurrency "
+                              "limiter (AIMD discovers the working "
+                              "limit below it)")
+    p_serve.add_argument("--admission-initial-concurrency", type=int,
+                         help="starting concurrency limit "
+                              "(default: min(8, max))")
+    p_serve.add_argument("--admission-max-queue", type=int, default=64,
+                         help="bounded admission queue depth; beyond it "
+                              "requests shed with a typed 'overloaded' "
+                              "error")
+    p_serve.add_argument("--admission-queue-wait", type=float,
+                         default=2.0,
+                         help="max seconds a request may queue before "
+                              "shedding (its own deadline may shed it "
+                              "sooner)")
+    p_serve.add_argument("--brownout-budget", type=float, default=0.25,
+                         help="solver budget (s) for requests admitted "
+                              "under brownout: fast labeled-degraded "
+                              "answers before shedding starts")
+    p_serve.add_argument("--conn-timeout", type=float, default=300.0,
+                         help="per-connection socket timeout (s); idle "
+                              "or slow-writing clients get a typed "
+                              "timeout reply and are disconnected")
+    p_serve.add_argument("--drain-deadline", type=float, default=10.0,
+                         help="SIGTERM graceful-drain bound (s): stop "
+                              "admitting, finish in-flight work, then "
+                              "stop the listener")
     p_serve.set_defaults(func=cmd_serve)
 
     p_request = sub.add_parser(
@@ -974,17 +1176,27 @@ def main(argv: Optional[List[str]] = None) -> int:
                            help="solver budget in seconds; past it the "
                                 "response degrades to the best available "
                                 "answer instead of blocking")
+    p_request.add_argument("--retries", type=int, default=0,
+                           help="retry typed 'overloaded' rejections up "
+                                "to this many times (retry-budgeted, "
+                                "jittered backoff, honors the server's "
+                                "retry_after_s)")
     p_request.set_defaults(func=cmd_request)
 
     p_service = sub.add_parser(
         "service", help="query or control a running service"
     )
     p_service.add_argument(
-        "action", choices=["stats", "metrics", "ping", "shutdown"]
+        "action",
+        choices=["stats", "metrics", "ping", "health", "ready",
+                 "shutdown"],
     )
     _add_endpoint(p_service)
     p_service.add_argument("--json", action="store_true",
                            help="print the raw JSON stats")
+    p_service.add_argument("--drain-deadline", type=float,
+                           help="for shutdown: bound the graceful drain "
+                                "to this many seconds")
     p_service.set_defaults(func=cmd_service)
 
     p_slo = sub.add_parser(
@@ -1083,9 +1295,77 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_chaos.add_argument("--events",
                          help="record per-case outcomes to an NDJSON "
                               "event log in this directory")
+    p_chaos.add_argument("--overload-fraction", type=float, default=0.15,
+                         help="fraction of cases run as burst-arrival "
+                              "overload cases instead of fault-injection "
+                              "cases (0 disables)")
     p_chaos.add_argument("--json", action="store_true",
                          help="print the machine-readable report")
     p_chaos.set_defaults(func=cmd_chaos)
+
+    p_loadtest = sub.add_parser(
+        "loadtest",
+        help="open-loop load generator: fixed arrival rate against a "
+             "running service, classifying every outcome and gating "
+             "on violations/p99/goodput/shed",
+    )
+    p_loadtest.add_argument("--rate", type=float,
+                            help="arrivals per second (open loop: the "
+                                 "schedule does not slow down when the "
+                                 "server does)")
+    p_loadtest.add_argument("--duration", type=float,
+                            help="run length in seconds")
+    p_loadtest.add_argument("--profile",
+                            help="JSON profile with defaults "
+                                 "(see examples/loadtest.json); flags "
+                                 "override it")
+    p_loadtest.add_argument("--program",
+                            help="paper program to request (default adi)")
+    p_loadtest.add_argument("--size", type=int,
+                            help="problem size for the request")
+    p_loadtest.add_argument("--procs", type=int,
+                            help="processor count for the request")
+    p_loadtest.add_argument("--deadline", type=float,
+                            help="per-request deadline_s sent to the "
+                                 "server (enables deadline-aware "
+                                 "shedding)")
+    p_loadtest.add_argument("--no-cache", action="store_true",
+                            help="bypass the server's stage cache so "
+                                 "every request costs real work")
+    p_loadtest.add_argument("--workers", type=int,
+                            help="generator thread pool size "
+                                 "(default 256); raise it if "
+                                 "max_dispatch_lag_s climbs")
+    p_loadtest.add_argument("--request-timeout", type=float,
+                            help="client-side timeout per request (s, "
+                                 "default 30); expiry counts as "
+                                 "no-reply, a violation")
+    p_loadtest.add_argument("--host", default=DEFAULT_HOST)
+    p_loadtest.add_argument("--port", type=int, default=DEFAULT_PORT)
+    p_loadtest.add_argument("--json", action="store_true",
+                            help="print the machine-readable report")
+    p_loadtest.add_argument("--out",
+                            help="write the report JSON here (usable "
+                                 "later as --baseline)")
+    p_loadtest.add_argument("--baseline",
+                            help="earlier report JSON to hold goodput "
+                                 "against")
+    p_loadtest.add_argument("--min-goodput-ratio", type=float,
+                            default=0.8,
+                            help="fail if goodput drops below this "
+                                 "fraction of the baseline's")
+    p_loadtest.add_argument("--p99-budget", type=float,
+                            help="admitted-request p99 budget (s)")
+    p_loadtest.add_argument("--slo",
+                            help="objectives file; gates admitted p99 "
+                                 "on its analyze p99 threshold")
+    p_loadtest.add_argument("--require-shed", action="store_true",
+                            help="fail unless the run shed something "
+                                 "(overload legs must prove admission "
+                                 "control engaged)")
+    p_loadtest.add_argument("--gate", action="store_true",
+                            help="exit 1 on any gate problem")
+    p_loadtest.set_defaults(func=cmd_loadtest)
 
     p_bench = sub.add_parser(
         "bench",

@@ -99,6 +99,39 @@ def _pool_section(stats: Mapping[str, Any]) -> List[str]:
     return [line]
 
 
+def _admission_section(stats: Mapping[str, Any]) -> List[str]:
+    admission = stats.get("admission") or {}
+    if not admission:
+        return []
+    limiter = admission.get("limiter") or {}
+    counters = admission.get("counters") or {}
+    state = "draining" if admission.get("draining") else (
+        "brownout" if admission.get("brownout") else "ok"
+    )
+    lines = [
+        f"admission {state}"
+        f"   in-flight {admission.get('in_flight', 0)}"
+        f"/{limiter.get('usable', '?')}"
+        f" (limit {limiter.get('limit', '?')}"
+        f", zombies {limiter.get('zombies', 0)})"
+        f"   queued {admission.get('queue_depth', 0)}"
+        f"/{admission.get('max_queue', '?')}"
+    ]
+    shed = admission.get("shed_total", 0)
+    if shed or counters.get("rejected_draining", 0) \
+            or counters.get("brownout_admitted", 0):
+        lines.append(
+            f"          shed {shed}"
+            f" (deadline {counters.get('shed_deadline', 0)}"
+            f", queue-full {counters.get('shed_queue_full', 0)}"
+            f", wait-timeout {counters.get('shed_wait_timeout', 0)})"
+            f"   drain-rejected {counters.get('rejected_draining', 0)}"
+            f"   brownout-admitted "
+            f"{counters.get('brownout_admitted', 0)}"
+        )
+    return lines
+
+
 def _telemetry_section(stats: Mapping[str, Any]) -> List[str]:
     telemetry = stats.get("telemetry") or {}
     events = telemetry.get("events") or {}
@@ -178,6 +211,7 @@ def format_top(
     lines.append("")
     lines.extend(_cache_section(stats))
     lines.extend(_pool_section(stats))
+    lines.extend(_admission_section(stats))
     lines.extend(_telemetry_section(stats))
     slo_lines = _slo_section(slo_report)
     if slo_lines:

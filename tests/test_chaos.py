@@ -105,7 +105,8 @@ class TestCampaign:
         assert report.ok, report.summary()
         # the classifier saw every case land in an allowed bucket
         assert (report.count("ok") + report.count("degraded")
-                + report.count("typed-error")) == 8
+                + report.count("typed-error")
+                + report.count("overload-shed")) == 8
         # no violations => no artifacts written
         assert not (tmp_path / "artifacts").exists()
         summary = report.summary()

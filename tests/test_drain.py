@@ -1,0 +1,194 @@
+"""Graceful drain and its neighbors: in-flight work finishing under a
+drain, typed ``shutting-down`` rejections, the durable drain record in
+the event log, health/ready ops, the connection idle timeout (slowloris
+guard), and zombie-worker accounting after request timeouts."""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.service import (
+    LayoutServer,
+    LayoutService,
+    WorkerPool,
+    send_request,
+)
+
+REQUEST = {
+    "op": "analyze",
+    "program": "adi",
+    "size": 8,
+    "maxiter": 2,
+    "procs": 4,
+    "use_cache": False,
+}
+
+
+@pytest.fixture
+def service():
+    svc = LayoutService(
+        pool=WorkerPool(kind="thread", max_workers=2), use_cache=False
+    )
+    yield svc
+    svc.close()
+
+
+class TestServiceDrain:
+    def test_drain_waits_for_in_flight_then_reports(self, service):
+        # hold an admission slot to stand in for an in-flight request
+        ticket = service.admission.try_acquire()
+        timer = threading.Timer(
+            0.1, service.admission.release, args=(ticket, 0.01)
+        )
+        timer.start()
+        report = service.drain(deadline_s=10.0)
+        timer.join()
+        assert report["drained"] is True
+        assert report["in_flight"] == 0
+        assert report["waited_s"] >= 0.05
+
+    def test_drain_deadline_is_respected(self, service):
+        ticket = service.admission.try_acquire()
+        start = time.monotonic()
+        report = service.drain(deadline_s=0.05)
+        assert time.monotonic() - start < 5.0
+        assert report["drained"] is False
+        assert report["in_flight"] == 1
+        service.admission.release(ticket, 0.01)
+
+    def test_new_work_is_rejected_typed_during_drain(self, service):
+        service.begin_drain()
+        resp = service.analyze_dict(dict(REQUEST))
+        assert not resp["ok"]
+        assert resp["error_kind"] == "shutting-down"
+        counters = service.metrics
+        assert counters.counter("requests_shed") == 1
+        assert counters.counter("requests_failed") == 1
+
+    def test_drain_is_recorded_in_the_event_log(self, service):
+        service.drain(deadline_s=1.0)
+        events = service.telemetry.events.tail(type="service.drain")
+        phases = [e.get("attrs", e).get("phase") for e in events]
+        assert "begin" in phases
+        assert "end" in phases
+
+    def test_health_and_ready_reflect_draining(self, service):
+        health = service.handle({"op": "health"})
+        ready = service.handle({"op": "ready"})
+        assert health["status"] == "ok"
+        assert ready["ready"] is True
+        service.begin_drain()
+        health = service.handle({"op": "health"})
+        ready = service.handle({"op": "ready"})
+        assert health["status"] == "draining"
+        assert ready["ready"] is False
+        assert ready["draining"] is True
+
+    def test_shutdown_op_reports_drain_state(self, service):
+        resp = service.handle({"op": "shutdown"})
+        assert resp["ok"]
+        assert resp["draining"] is True
+        assert "in_flight" in resp and "queue_depth" in resp
+
+
+class TestTcpDrain:
+    def test_graceful_shutdown_serves_in_flight_and_stops(self):
+        service = LayoutService(
+            pool=WorkerPool(kind="thread", max_workers=2),
+            use_cache=False,
+        )
+        server = LayoutServer(("127.0.0.1", 0), service)
+        thread = server.serve_background()
+        host, port = "127.0.0.1", server.port
+        try:
+            ticket = service.admission.try_acquire()
+            timer = threading.Timer(
+                0.2, service.admission.release, args=(ticket, 0.01)
+            )
+            timer.start()
+            # while draining, the listener still answers with typed
+            # rejections rather than connection resets
+            resp = send_request(
+                {"op": "shutdown", "drain_deadline_s": 10.0}, host, port
+            )
+            assert resp["draining"] is True
+            rejected = send_request(dict(REQUEST), host, port)
+            assert rejected["error_kind"] == "shutting-down"
+            timer.join()
+            thread.join(timeout=10)
+            assert not thread.is_alive()
+        finally:
+            server.server_close()
+            service.close()
+
+
+class TestConnectionIdleTimeout:
+    def test_slowloris_connection_gets_typed_timeout(self):
+        service = LayoutService(
+            pool=WorkerPool(kind="serial"), use_cache=False
+        )
+        server = LayoutServer(
+            ("127.0.0.1", 0), service, conn_timeout_s=0.2
+        )
+        server.serve_background()
+        try:
+            with socket.create_connection(
+                ("127.0.0.1", server.port), timeout=10
+            ) as sock:
+                # send no newline: the handler must not block forever
+                sock.sendall(b'{"op": "ping"')
+                line = sock.makefile("rb").readline()
+            assert line, "server closed without the typed reply"
+            import json
+            resp = json.loads(line)
+            assert not resp["ok"]
+            assert resp["error_kind"] == "timeout"
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+
+
+class TestZombieWorkers:
+    def test_timed_out_request_is_tracked_and_reclaimed(self):
+        service = LayoutService(
+            pool=WorkerPool(kind="serial"),
+            use_cache=False,
+            request_timeout=1e-6,
+        )
+        try:
+            resp = service.analyze_dict(dict(REQUEST, deadline_s=None))
+            assert not resp["ok"]
+            assert resp["error_kind"] == "timeout"
+            assert service.metrics.counter("zombie_workers_total") == 1
+            # the abandoned pipeline thread eventually finishes and the
+            # done-callback reclaims the usable-concurrency slot
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                if service.metrics.gauge("zombie_workers") == 0 \
+                        and service.admission.limiter.zombies == 0:
+                    break
+                time.sleep(0.05)
+            assert service.metrics.gauge("zombie_workers") == 0
+            assert service.admission.limiter.zombies == 0
+        finally:
+            service.close()
+
+    def test_timeout_shrinks_the_concurrency_limit(self):
+        service = LayoutService(
+            pool=WorkerPool(kind="serial"),
+            use_cache=False,
+            request_timeout=1e-6,
+        )
+        try:
+            before = service.admission.limiter.limit
+            service.analyze_dict(dict(REQUEST))
+            # a hard timeout is the strongest congestion signal: the
+            # AIMD limiter backs off multiplicatively
+            assert service.admission.limiter.limit < before
+        finally:
+            service.close()

@@ -169,7 +169,9 @@ class TestRequestDeadline:
         server = LayoutServer(("127.0.0.1", 0), service)
         thread = server.serve_background()
         resp = send_request({"op": "shutdown"}, "127.0.0.1", server.port)
-        assert resp == {"ok": True, "op": "shutdown"}
+        assert resp["ok"]
+        assert resp["op"] == "shutdown"
+        assert resp["draining"] is True
         thread.join(timeout=10)
         assert not thread.is_alive()
         server.server_close()
